@@ -1,0 +1,24 @@
+"""Convergence-vs-minibatch study: the statistical cost of reducing the
+aggregation rate that Section 7.2 cites [74-78] but does not measure."""
+
+from repro.bench import convergence_study
+
+
+def test_convergence_study(regen):
+    result = regen(
+        convergence_study,
+        rounds=1,
+        names=("stock", "tumor"),
+        batch_sizes=(8, 32, 128),
+        samples=4096,
+        epochs=3,
+    )
+    for name in ("stock", "tumor"):
+        rows = [r for r in result.rows if r["name"] == name]
+        by_batch = {r["batch"]: r for r in rows}
+        # Fewer aggregations -> fewer updates -> no better loss for the
+        # same sample budget.
+        assert by_batch[8]["final_loss"] <= by_batch[128]["final_loss"] * 1.05
+        assert by_batch[8]["iterations"] > by_batch[128]["iterations"]
+        # But each aggregation costs wall-clock: large b is faster.
+        assert by_batch[128]["sim_seconds"] < by_batch[8]["sim_seconds"]

@@ -1,0 +1,24 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+Section 7 through :mod:`repro.bench`, times it with pytest-benchmark, and
+prints the regenerated rows so the run log doubles as the experiment
+record (EXPERIMENTS.md is derived from these outputs).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run a harness function under pytest-benchmark and print its table."""
+
+    def _run(fn, *args, rounds=2, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+        )
+        print()
+        print(result.to_table())
+        return result
+
+    return _run

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+legacy (non-PEP-517) editable installs: ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

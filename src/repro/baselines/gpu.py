@@ -1,0 +1,51 @@
+"""Roofline model of the GPU-accelerated CoSMIC nodes (Section 7.1).
+
+The GPU system reuses CoSMIC's runtime (Spark has no GPU support), so only
+the per-node compute model differs: a Tesla K40c roofline over FLOPs,
+device-memory bandwidth, and — decisive for the streaming workloads whose
+training sets exceed the 12 GB device memory — PCIe ingest bandwidth.
+That ingest ceiling is why the GPU's compute advantage over the FPGA is
+modest (1.9x average) outside the GEMM-heavy backpropagation benchmarks
+(20.3x on mnist), Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ml.benchmarks import Benchmark
+from ..ml.models import flops_per_sample
+from . import calibration as cal
+
+
+@dataclass
+class GpuModel:
+    """One GPU-equipped node's accelerator compute model."""
+
+    spec: cal.GpuSpec = field(default_factory=lambda: cal.TESLA_K40C)
+
+    def dataset_resident(self, bench: Benchmark) -> bool:
+        """True if the training partition fits in device memory."""
+        budget = self.spec.memory_bytes * cal.GPU_RESIDENT_FRACTION
+        return bench.data_gb * 1e9 <= budget
+
+    def compute_seconds(self, bench: Benchmark, samples: int) -> float:
+        """Roofline time to process ``samples`` training vectors."""
+        flops = samples * flops_per_sample(bench.algorithm, bench.dims)
+        efficiency = cal.GPU_EFFICIENCY[bench.algorithm]
+        arithmetic = flops / (self.spec.peak_flops * efficiency)
+        arithmetic += samples * cal.GPU_PER_SAMPLE_OVERHEAD_S[bench.algorithm]
+        bytes_in = samples * bench.bytes_per_sample()
+        memory = bytes_in / self.spec.memory_bandwidth_bytes
+        ingest = 0.0
+        if not self.dataset_resident(bench):
+            ingest = bytes_in / self.spec.pcie_bandwidth_bytes
+        return max(arithmetic, memory, ingest) + self.spec.kernel_launch_s
+
+    def samples_per_second(self, bench: Benchmark) -> float:
+        probe = 100_000
+        return probe / self.compute_seconds(bench, probe)
+
+    def node_power_watts(self, host_tdp: float = 80.0) -> float:
+        """System power of one GPU node (host CPU + accelerator)."""
+        return host_tdp + self.spec.tdp_watts

@@ -1,0 +1,82 @@
+"""Statistical-efficiency study: convergence vs mini-batch size.
+
+Section 7.2 warns that "reducing the aggregation rate can adversely
+affect training convergence" [74-78] but only measures throughput. This
+study closes the loop: it *actually trains* each (scaled) benchmark at
+several mini-batch sizes for a fixed sample budget, records the achieved
+loss, and combines it with the timing model into time-to-quality — the
+metric a practitioner would tune ``b`` against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.stack import CosmicStack
+from ..core.system import CosmicSystem, platform_for
+from ..ml.benchmarks import Benchmark, benchmark
+from .results import ExperimentResult
+
+
+def convergence_study(
+    names: Iterable[str] = ("stock", "tumor", "face"),
+    batch_sizes: Sequence[int] = (8, 32, 128),
+    samples: int = 4096,
+    epochs: int = 3,
+    nodes: int = 4,
+    threads: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fixed sample budget, varying per-worker mini-batch.
+
+    Larger ``b`` means fewer aggregations (cheaper in wall-clock per
+    epoch) but fewer model updates (worse loss for the same budget).
+    ``time_to_quality`` multiplies the simulated per-iteration time by
+    the iterations each configuration ran.
+    """
+    result = ExperimentResult(
+        "Convergence study",
+        "Loss after a fixed sample budget vs per-worker mini-batch",
+        ["name", "batch", "iterations", "final_loss", "sim_seconds"],
+    )
+    for b in _benches(names):
+        stack = CosmicStack.from_benchmark(b)
+        platform = platform_for(b, "fpga")
+        dataset = b.make_dataset(samples=samples, seed=seed)
+        losses = []
+        for batch in batch_sizes:
+            system = CosmicSystem(b, platform, nodes)
+            cluster = system.cluster()
+            trainer = stack.trainer(
+                nodes=nodes, threads_per_node=threads, cluster=cluster,
+                seed=seed,
+            )
+            init = trainer.initial_model(
+                scale=0.2
+                if b.algorithm == "collaborative_filtering"
+                else 0.0
+            )
+            run = trainer.train(
+                dataset.feeds,
+                epochs=epochs,
+                minibatch_per_worker=batch,
+                loss_fn=dataset.loss,
+                model=init,
+            )
+            losses.append(run.final_loss)
+            result.add_row(
+                name=b.name,
+                batch=batch,
+                iterations=run.iterations,
+                final_loss=run.final_loss,
+                sim_seconds=run.simulated_seconds,
+            )
+        if losses[0] > 0:
+            result.summary[f"{b.name}_loss_ratio_largest_vs_smallest_b"] = (
+                losses[-1] / losses[0]
+            )
+    return result
+
+
+def _benches(names: Optional[Iterable[str]]):
+    return [benchmark(n) for n in names]

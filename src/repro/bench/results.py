@@ -1,0 +1,69 @@
+"""Result containers and text rendering for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; the paper's cross-benchmark averaging."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: rows of named values plus summary."""
+
+    experiment: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper: Dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, **values):
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[float]:
+        return [float(r[name]) for r in self.rows if name in r]
+
+    def to_table(self) -> str:
+        """Render the rows the way the paper's figure/table reports them."""
+        lines = [f"== {self.experiment}: {self.description} =="]
+        widths = {
+            c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(c, "")).ljust(widths[c]) for c in self.columns
+                )
+            )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                paper = self.paper.get(key)
+                suffix = f"   (paper: {paper:g})" if paper is not None else ""
+                lines.append(f"  {key}: {value:.2f}{suffix}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

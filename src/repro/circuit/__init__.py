@@ -1,0 +1,16 @@
+"""CoSMIC circuit layer: the Constructor and microcode encoding."""
+
+from .constructor import RtlDesign, construct, opcode_of
+from .microcode import MicroOp, decode, encode_microcode
+from .testbench import generate_testbench, golden_vectors
+
+__all__ = [
+    "MicroOp",
+    "RtlDesign",
+    "construct",
+    "generate_testbench",
+    "golden_vectors",
+    "decode",
+    "encode_microcode",
+    "opcode_of",
+]

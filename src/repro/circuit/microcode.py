@@ -1,0 +1,75 @@
+"""Microcode encoding for P-ASIC targets (Section 4.5).
+
+For P-ASICs "the mapping is converted to microcodes": each scheduled
+operation becomes one micro-op word carrying the opcode, the target PE,
+the issue cycle, and operand routing hints. A taped-out chip executes any
+DSL-expressible algorithm by loading a new ROM image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One micro-instruction of the P-ASIC control store."""
+
+    cycle: int
+    pe: int
+    opcode: int
+    op_name: str
+    src_pes: tuple
+    writes_gradient: bool
+
+    def encode(self) -> int:
+        """Pack into a 64-bit word: |cycle:24|pe:16|opcode:8|flags:16|."""
+        flags = 1 if self.writes_gradient else 0
+        return (
+            (self.cycle & 0xFFFFFF) << 40
+            | (self.pe & 0xFFFF) << 24
+            | (self.opcode & 0xFF) << 16
+            | (flags & 0xFFFF)
+        )
+
+
+def decode(word: int) -> dict:
+    """Unpack a 64-bit micro-op word (inverse of :meth:`MicroOp.encode`)."""
+    return {
+        "cycle": (word >> 40) & 0xFFFFFF,
+        "pe": (word >> 24) & 0xFFFF,
+        "opcode": (word >> 16) & 0xFF,
+        "writes_gradient": bool(word & 1),
+    }
+
+
+def encode_microcode(program) -> List[MicroOp]:
+    """Linearise a compiled program into the microcode stream."""
+    from .constructor import opcode_of  # local import: avoids a cycle
+
+    dfg = program.expansion.dfg
+    micro: List[MicroOp] = []
+    ordered = sorted(program.schedule.ops.values(), key=lambda op: op.start)
+    for op in ordered:
+        node = dfg.nodes[op.nid]
+        srcs = tuple(
+            sorted(
+                {
+                    program.mapping.pe_of_value[vid]
+                    for vid in node.inputs
+                    if vid in program.mapping.pe_of_value
+                }
+            )
+        )
+        micro.append(
+            MicroOp(
+                cycle=op.start,
+                pe=op.pe,
+                opcode=opcode_of(node.op),
+                op_name=node.op,
+                src_pes=srcs,
+                writes_gradient=dfg.values[node.output].is_gradient,
+            )
+        )
+    return micro

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``benchmarks`` — list the Table 1 workloads.
+* ``experiment <id> [...]`` — regenerate a figure/table (or ``all``).
+* ``ablation <id> [...]`` — run a design-choice ablation (or ``all``).
+* ``plan <benchmark> [--chip ...]`` — show the Planner's chosen design.
+* ``rtl <benchmark> [--target fpga|pasic]`` — emit generated Verilog.
+* ``train <benchmark>`` — actually train the (scaled) benchmark on a
+  simulated cluster and report loss plus simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoSMIC: scale-out acceleration for machine learning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="list the Table 1 benchmarks")
+
+    exp = sub.add_parser("experiment", help="regenerate a table or figure")
+    exp.add_argument("id", help="e.g. figure7, table3, or 'all'")
+
+    abl = sub.add_parser("ablation", help="run a design-choice ablation")
+    abl.add_argument("id", help="e.g. interconnect, mapping, or 'all'")
+
+    plan = sub.add_parser("plan", help="show the Planner's design")
+    plan.add_argument("benchmark")
+    plan.add_argument(
+        "--chip", default="fpga", choices=["fpga", "pasic-f", "pasic-g"]
+    )
+    plan.add_argument("--minibatch", type=int, default=10_000)
+
+    rtl = sub.add_parser("rtl", help="emit generated RTL for one thread")
+    rtl.add_argument("benchmark")
+    rtl.add_argument("--target", default="fpga", choices=["fpga", "pasic"])
+    rtl.add_argument("--rows", type=int, default=2)
+    rtl.add_argument("--columns", type=int, default=4)
+
+    train = sub.add_parser("train", help="train the scaled benchmark")
+    train.add_argument("benchmark")
+    train.add_argument("--nodes", type=int, default=4)
+    train.add_argument("--threads", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--samples", type=int, default=2048)
+    train.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "benchmarks":
+        return _cmd_benchmarks()
+    if command == "experiment":
+        return _cmd_experiment(args.id)
+    if command == "ablation":
+        return _cmd_ablation(args.id)
+    if command == "plan":
+        return _cmd_plan(args.benchmark, args.chip, args.minibatch)
+    if command == "rtl":
+        return _cmd_rtl(args.benchmark, args.target, args.rows, args.columns)
+    if command == "train":
+        return _cmd_train(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_benchmarks() -> int:
+    from .bench import table1
+
+    print(table1().to_table())
+    return 0
+
+
+def _cmd_experiment(exp_id: str) -> int:
+    from .bench import EXPERIMENTS
+
+    if exp_id == "all":
+        for fn in EXPERIMENTS.values():
+            print(fn().to_table())
+            print()
+        return 0
+    if exp_id not in EXPERIMENTS:
+        print(
+            f"unknown experiment {exp_id!r}; choose from "
+            f"{', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    print(EXPERIMENTS[exp_id]().to_table())
+    return 0
+
+
+def _cmd_ablation(abl_id: str) -> int:
+    from .bench import ABLATIONS
+
+    if abl_id == "all":
+        for fn in ABLATIONS.values():
+            print(fn().to_table())
+            print()
+        return 0
+    if abl_id not in ABLATIONS:
+        print(
+            f"unknown ablation {abl_id!r}; choose from "
+            f"{', '.join(ABLATIONS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    print(ABLATIONS[abl_id]().to_table())
+    return 0
+
+
+def _cmd_plan(name: str, chip_kind: str, minibatch: int) -> int:
+    from .hw import PASIC_F, PASIC_G, XILINX_VU9P
+    from .ml import benchmark
+    from .planner import Planner
+
+    chip = {"fpga": XILINX_VU9P, "pasic-f": PASIC_F, "pasic-g": PASIC_G}[
+        chip_kind
+    ]
+    b = benchmark(name)
+    plan = Planner(chip).plan(
+        b.translate().dfg,
+        minibatch,
+        b.density,
+        stream_words=b.bytes_per_sample() / chip.word_bytes,
+    )
+    util = plan.resources().utilization(chip)
+    print(f"benchmark:        {b.name} ({b.algorithm})")
+    print(f"chip:             {chip.name}")
+    print(f"design point:     {plan.design.label()} "
+          f"({plan.design.total_pes} PEs, {plan.design.total_rows} rows)")
+    print(f"cycles/sample:    {plan.cycles_per_sample:,.0f}")
+    print(f"throughput:       {plan.samples_per_second:,.0f} samples/s")
+    print(f"bound:            "
+          f"{'compute' if plan.compute_bound else 'bandwidth'}")
+    print(f"storage/thread:   {plan.storage_per_thread_bytes / 1024:,.0f} KB")
+    if chip.luts:
+        print("utilization:      " + "  ".join(
+            f"{k}={100 * v:.1f}%" for k, v in util.items()
+        ))
+    return 0
+
+
+def _cmd_rtl(name: str, target: str, rows: int, columns: int) -> int:
+    from .core import CosmicStack
+    from .ml import benchmark
+
+    stack = CosmicStack.from_benchmark(benchmark(name))
+    design = stack.rtl(rows=rows, columns=columns, target=target)
+    print(design.verilog)
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import CosmicStack, platform_for
+    from .ml import benchmark
+    from .runtime import ClusterSimulator, ClusterSpec
+
+    b = benchmark(args.benchmark)
+    stack = CosmicStack.from_benchmark(b)
+    platform = platform_for(b, "fpga")
+    cluster = ClusterSimulator(
+        ClusterSpec(nodes=args.nodes),
+        lambda node, samples: platform.compute_seconds(samples),
+        update_bytes=b.model_bytes(),
+    )
+    trainer = stack.trainer(
+        nodes=args.nodes,
+        threads_per_node=args.threads,
+        cluster=cluster,
+        seed=args.seed,
+    )
+    dataset = b.make_dataset(samples=args.samples, seed=args.seed)
+    init = trainer.initial_model(
+        scale=0.2 if b.algorithm == "collaborative_filtering" else 0.0
+    )
+    result = trainer.train(
+        dataset.feeds,
+        epochs=args.epochs,
+        minibatch_per_worker=max(
+            1, args.samples // (8 * args.nodes * args.threads)
+        ),
+        loss_fn=dataset.loss,
+        model=init,
+    )
+    print(f"benchmark:         {b.name} ({dataset.description})")
+    print(f"cluster:           {args.nodes} nodes x {args.threads} threads")
+    print(f"iterations:        {result.iterations}")
+    print(f"loss:              {result.loss_history[0]:.4f} -> "
+          f"{result.final_loss:.4f}")
+    print(f"simulated seconds: {result.simulated_seconds:.4f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

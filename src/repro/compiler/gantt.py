@@ -1,0 +1,93 @@
+"""ASCII Gantt rendering of a static schedule.
+
+Prints each PE's occupancy over cycles plus bus transfers — the first
+thing to look at when a schedule's makespan surprises you. Pure text, no
+plotting dependencies, suitable for logs and docs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dfg import ir
+from .program import CompiledProgram
+
+_OP_GLYPH = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/",
+    "gt": ">", "lt": "<", "ge": "]", "le": "[", "eq": "=", "ne": "!",
+    "min": "m", "max": "M", "neg": "~", "identity": ".",
+    "abs": "a", "sign": "s", "sigmoid": "S", "gaussian": "G",
+    "log": "L", "exp": "E", "sqrt": "Q", "select": "?",
+}
+
+
+def render_gantt(
+    program: CompiledProgram,
+    max_cycles: Optional[int] = None,
+    show_transfers: bool = True,
+) -> str:
+    """Render the schedule as one text row per PE.
+
+    Each character cell is a cycle; the glyph encodes the operation
+    (`*` mul, `+` add, `S` sigmoid, ... `.` identity); idle cycles print
+    as spaces. A legend and, optionally, the transfer log follow.
+    """
+    dfg = program.expansion.dfg
+    makespan = program.schedule.makespan
+    horizon = min(makespan, max_cycles) if max_cycles else makespan
+    n_pe = program.grid.n_pe
+
+    rows: List[List[str]] = [[" "] * horizon for _ in range(n_pe)]
+    used_glyphs: Dict[str, str] = {}
+    for op in program.schedule.ops.values():
+        node = dfg.nodes[op.nid]
+        glyph = _OP_GLYPH.get(node.op, "#")
+        used_glyphs[glyph] = node.op
+        for cycle in range(op.start, min(op.end, horizon)):
+            rows[op.pe][cycle] = glyph
+
+    width = len(str(n_pe - 1))
+    ruler = _ruler(horizon, width)
+    lines = [
+        f"schedule gantt: {n_pe} PEs x {makespan} cycles"
+        + (f" (showing first {horizon})" if horizon < makespan else ""),
+        ruler,
+    ]
+    for pe in range(n_pe):
+        lines.append(f"pe{pe:<{width}} |{''.join(rows[pe])}|")
+    lines.append(ruler)
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in sorted(used_glyphs.items())
+    )
+    lines.append(f"legend: {legend}  (space = idle)")
+    if show_transfers and program.schedule.transfers:
+        lines.append(f"transfers ({len(program.schedule.transfers)}):")
+        for t in sorted(program.schedule.transfers, key=lambda x: x.start)[:40]:
+            lines.append(
+                f"  t={t.start:<4d} pe{t.src_pe} -> pe{t.dst_pe}  "
+                f"via {t.resource} ({t.latency} cyc)"
+            )
+        if len(program.schedule.transfers) > 40:
+            lines.append(
+                f"  ... {len(program.schedule.transfers) - 40} more"
+            )
+    return "\n".join(lines)
+
+
+def utilization_by_pe(program: CompiledProgram) -> Dict[int, float]:
+    """Busy fraction of each PE over the makespan."""
+    makespan = max(1, program.schedule.makespan)
+    busy: Dict[int, int] = {pe: 0 for pe in range(program.grid.n_pe)}
+    for op in program.schedule.ops.values():
+        busy[op.pe] += op.end - op.start
+    return {pe: cycles / makespan for pe, cycles in busy.items()}
+
+
+def _ruler(horizon: int, label_width: int) -> str:
+    marks = [" "] * horizon
+    for c in range(0, horizon, 10):
+        text = str(c)
+        for i, ch in enumerate(text):
+            if c + i < horizon:
+                marks[c + i] = ch
+    return " " * (label_width + 2) + " " + "".join(marks)

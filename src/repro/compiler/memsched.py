@@ -1,0 +1,122 @@
+"""Memory-interface schedule generation (Sections 5.2 and 6).
+
+The programmable memory interface executes a queue of entries, each with a
+``Base PE Index``, a ``RD/WR`` bit, a ``Broadcast`` bit, and a ``Size``.
+The schedule is shared by all worker threads; the Thread Index Table adds
+each thread's ``PE Offset`` and memory base address at runtime, so one
+copy of the schedule drives every thread (round-robin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dfg import ir
+from ..dfg.scalarize import ScalarExpansion
+from .mapping import Mapping
+
+READ = "RD"  # memory -> PE buffers
+WRITE = "WR"  # PE buffers -> memory (gradient drain)
+
+
+@dataclass(frozen=True)
+class MemEntry:
+    """One entry of the Memory Schedule queue (Figure 5)."""
+
+    base_pe: int
+    direction: str  # READ or WRITE
+    broadcast: bool
+    size: int  # words
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ThreadIndexEntry:
+    """One row of the Thread Index Table: where a thread's data lives and
+    which PE row block it owns."""
+
+    thread: int
+    mem_addr: int
+    pe_offset: int
+
+
+@dataclass
+class MemorySchedule:
+    """The complete memory program for one accelerator."""
+
+    preload: List[MemEntry]
+    per_sample: List[MemEntry]
+    drain: List[MemEntry]
+
+    @property
+    def preload_words(self) -> int:
+        return sum(e.size for e in self.preload)
+
+    @property
+    def sample_words(self) -> int:
+        return sum(e.size for e in self.per_sample)
+
+    @property
+    def drain_words(self) -> int:
+        return sum(e.size for e in self.drain)
+
+
+def build_memory_schedule(
+    expansion: ScalarExpansion, mapping: Mapping
+) -> MemorySchedule:
+    """Derive the three schedule phases from the data map.
+
+    * **preload** — broadcast the model parameters to every worker thread
+      (one broadcast read per burst; the Broadcast bit lets a single
+      memory read feed all threads).
+    * **per_sample** — stream one training vector, bursting ``columns``
+      consecutive words to a row of PEs.
+    * **drain** — write each thread's partial gradient back out for
+      aggregation.
+    """
+    grid = mapping.grid
+    columns = grid.columns
+    preload: List[MemEntry] = []
+    model = expansion.input_elements(ir.MODEL)
+    for burst_start in range(0, len(model), columns):
+        burst = model[burst_start : burst_start + columns]
+        pe = mapping.pe_of_value[burst[0][2]]
+        preload.append(
+            MemEntry(pe, READ, True, len(burst), label="model")
+        )
+
+    per_sample: List[MemEntry] = []
+    stream = expansion.input_elements(ir.DATA)
+    for burst_start in range(0, len(stream), columns):
+        burst = stream[burst_start : burst_start + columns]
+        pe = mapping.grid.stream_pe(burst_start)
+        per_sample.append(
+            MemEntry(pe, READ, False, len(burst), label="data")
+        )
+
+    drain: List[MemEntry] = []
+    grads = [v for v in expansion.dfg.gradient_outputs()]
+    for burst_start in range(0, len(grads), columns):
+        burst = grads[burst_start : burst_start + columns]
+        pe = mapping.pe_of_node.get(
+            expansion.dfg.values[burst[0].vid].producer, 0
+        )
+        drain.append(
+            MemEntry(pe, WRITE, False, len(burst), label="gradient")
+        )
+    return MemorySchedule(preload, per_sample, drain)
+
+
+def build_thread_index_table(
+    threads: int, rows_per_thread: int, columns: int, words_per_thread: int
+) -> List[ThreadIndexEntry]:
+    """The Thread Index Table: one row per worker thread (Section 5.2)."""
+    return [
+        ThreadIndexEntry(
+            thread=t,
+            mem_addr=t * words_per_thread,
+            pe_offset=t * rows_per_thread * columns,
+        )
+        for t in range(threads)
+    ]

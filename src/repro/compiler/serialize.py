@@ -1,0 +1,152 @@
+"""Serialization of compiled accelerator programs.
+
+A deployment of CoSMIC ships artifacts, not Python objects: the bitstream
+(FPGA) or microcode image (P-ASIC) plus the host-side memory program and
+thread table. This module renders a :class:`CompiledProgram` into a plain
+JSON-compatible dict — stable, diff-able, and loadable without the source
+DSL — and can verify a loaded artifact against a freshly compiled one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .mapping import PeGrid
+from .memsched import MemEntry, MemorySchedule
+from .program import CompiledProgram
+from .scheduling import Schedule, ScheduledOp, Transfer
+
+FORMAT_VERSION = 1
+
+
+def program_to_dict(program: CompiledProgram) -> Dict:
+    """Render every deployable piece of a compiled program."""
+    dfg = program.expansion.dfg
+    return {
+        "format_version": FORMAT_VERSION,
+        "grid": {
+            "rows": program.grid.rows,
+            "columns": program.grid.columns,
+        },
+        "operations": [
+            {
+                "nid": op.nid,
+                "op": dfg.nodes[op.nid].op,
+                "pe": op.pe,
+                "start": op.start,
+                "end": op.end,
+            }
+            for op in sorted(
+                program.schedule.ops.values(), key=lambda o: (o.start, o.nid)
+            )
+        ],
+        "transfers": [
+            {
+                "value": t.value,
+                "src_pe": t.src_pe,
+                "dst_pe": t.dst_pe,
+                "start": t.start,
+                "latency": t.latency,
+                "resource": t.resource,
+            }
+            for t in program.schedule.transfers
+        ],
+        "makespan": program.schedule.makespan,
+        "data_map": {
+            str(pe): values
+            for pe, values in program.mapping.data_map.items()
+            if values
+        },
+        "operation_map": {
+            str(pe): ops
+            for pe, ops in program.mapping.operation_map.items()
+            if ops
+        },
+        "memory_schedule": {
+            phase: [
+                {
+                    "base_pe": e.base_pe,
+                    "direction": e.direction,
+                    "broadcast": e.broadcast,
+                    "size": e.size,
+                    "label": e.label,
+                }
+                for e in entries
+            ]
+            for phase, entries in (
+                ("preload", program.memory.preload),
+                ("per_sample", program.memory.per_sample),
+                ("drain", program.memory.drain),
+            )
+        },
+    }
+
+
+def program_to_json(program: CompiledProgram, indent: int = 2) -> str:
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def schedule_from_dict(payload: Dict) -> Schedule:
+    """Rebuild the static schedule from a serialized artifact."""
+    _check_version(payload)
+    grid = PeGrid(
+        rows=payload["grid"]["rows"], columns=payload["grid"]["columns"]
+    )
+    schedule = Schedule(grid)
+    for op in payload["operations"]:
+        schedule.ops[op["nid"]] = ScheduledOp(
+            op["nid"], op["pe"], op["start"], op["end"]
+        )
+    for t in payload["transfers"]:
+        schedule.transfers.append(
+            Transfer(
+                t["value"], t["src_pe"], t["dst_pe"], t["start"],
+                t["latency"], t["resource"],
+            )
+        )
+    schedule.makespan = payload["makespan"]
+    return schedule
+
+
+def memory_schedule_from_dict(payload: Dict) -> MemorySchedule:
+    """Rebuild the memory program from a serialized artifact."""
+    _check_version(payload)
+
+    def entries(phase: str) -> List[MemEntry]:
+        return [
+            MemEntry(
+                e["base_pe"], e["direction"], e["broadcast"], e["size"],
+                e["label"],
+            )
+            for e in payload["memory_schedule"][phase]
+        ]
+
+    return MemorySchedule(
+        preload=entries("preload"),
+        per_sample=entries("per_sample"),
+        drain=entries("drain"),
+    )
+
+
+def verify_artifact(program: CompiledProgram, payload: Dict):
+    """Raise ValueError if ``payload`` does not describe ``program``.
+
+    Used to confirm a shipped artifact matches what the current toolchain
+    would produce for the same source (reproducible-build check).
+    """
+    fresh = program_to_dict(program)
+    if fresh != payload:
+        for key in fresh:
+            if fresh[key] != payload.get(key):
+                raise ValueError(f"artifact mismatch in section {key!r}")
+        raise ValueError("artifact mismatch")
+
+
+def _check_version(payload: Dict):
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported artifact version {version!r}; "
+            f"this toolchain reads version {FORMAT_VERSION}"
+        )

@@ -1,0 +1,21 @@
+"""The CoSMIC facade: full-stack compilation and scale-out systems."""
+
+from .stack import CosmicStack
+from .system import (
+    CosmicSystem,
+    HOST_TDP_WATTS,
+    NodePlatform,
+    accelerator_platform,
+    gpu_platform,
+    platform_for,
+)
+
+__all__ = [
+    "CosmicStack",
+    "CosmicSystem",
+    "HOST_TDP_WATTS",
+    "NodePlatform",
+    "accelerator_platform",
+    "gpu_platform",
+    "platform_for",
+]

@@ -1,0 +1,104 @@
+"""Graphviz (DOT) export of dataflow graphs.
+
+Figure 4(b) of the paper shows the Translator's DFG as a picture; this
+module produces that picture's source for any graph — macro or scalar —
+with operand categories colour-coded the way the Compiler treats them
+(DATA / MODEL / INTERIM / CONST). Optionally annotates each node with its
+mapped PE and scheduled cycle, turning a compiled program into a
+reviewable placement diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import ir
+
+_CATEGORY_STYLE = {
+    ir.DATA: ("box", "#cfe8ff"),
+    ir.MODEL: ("box", "#d8f5d0"),
+    ir.INTERIM: ("ellipse", "#ffffff"),
+    ir.CONST: ("plaintext", "#f0f0f0"),
+}
+
+
+def to_dot(
+    dfg: ir.Dfg,
+    name: str = "dfg",
+    pe_of_node: Optional[Dict[int, int]] = None,
+    cycle_of_node: Optional[Dict[int, int]] = None,
+) -> str:
+    """Render ``dfg`` as DOT text.
+
+    Args:
+        dfg: the graph.
+        name: the digraph's name.
+        pe_of_node: optional node id -> PE annotation (from a Mapping).
+        cycle_of_node: optional node id -> start cycle (from a Schedule).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [fontsize=10];"]
+    for value in dfg.values.values():
+        if value.producer is not None:
+            continue
+        shape, fill = _CATEGORY_STYLE[value.category]
+        label = value.name
+        if value.category == ir.CONST and value.const_value is not None:
+            label = _fmt_const(value.const_value)
+        elif value.axes:
+            label += f"[{','.join(value.axes)}]"
+        lines.append(
+            f'  v{value.vid} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor="{fill}"];'
+        )
+    for node in dfg.topo_order():
+        out = dfg.values[node.output]
+        label = node.op
+        if node.reduce_axes:
+            label += f"[{','.join(node.reduce_axes)}]"
+        extras = []
+        if pe_of_node and node.nid in pe_of_node:
+            extras.append(f"pe{pe_of_node[node.nid]}")
+        if cycle_of_node and node.nid in cycle_of_node:
+            extras.append(f"t={cycle_of_node[node.nid]}")
+        if extras:
+            label += "\\n" + " ".join(extras)
+        color = "#ffe2b8" if out.is_gradient else "#ffffff"
+        lines.append(
+            f'  n{node.nid} [label="{label}", shape=ellipse, '
+            f'style=filled, fillcolor="{color}"];'
+        )
+        for vid in node.inputs:
+            src = dfg.values[vid]
+            origin = f"v{vid}" if src.producer is None else f"n{src.producer}"
+            lines.append(f"  {origin} -> n{node.nid};")
+    for out_name, vid in dfg.outputs.items():
+        value = dfg.values[vid]
+        if value.producer is not None:
+            lines.append(
+                f'  out_{_safe(out_name)} [label="{out_name}", '
+                f'shape=doubleoctagon];'
+            )
+            lines.append(f"  n{value.producer} -> out_{_safe(out_name)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_dot(program, name: str = "compiled") -> str:
+    """DOT of a compiled program with PE placement and cycle annotations."""
+    cycles = {nid: op.start for nid, op in program.schedule.ops.items()}
+    return to_dot(
+        program.expansion.dfg,
+        name=name,
+        pe_of_node=program.mapping.pe_of_node,
+        cycle_of_node=cycles,
+    )
+
+
+def _fmt_const(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def _safe(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)

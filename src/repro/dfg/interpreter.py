@@ -1,0 +1,179 @@
+"""Functional (NumPy) execution of CoSMIC dataflow graphs.
+
+The accelerator's arithmetic is deterministic and order-independent at the
+macro-op level, so executing the DFG with NumPy yields bit-comparable
+results to the cycle simulator while being fast enough to actually *train*
+the benchmarks. The runtime layer uses this interpreter as the compute
+kernel of every simulated accelerator thread.
+
+A leading batch axis lets one call evaluate the DFG for a whole data
+sub-partition at once, mirroring how a worker thread iterates its
+sub-partition ``D_ij`` (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from . import ir
+from .ops import op_info
+
+
+class InterpreterError(ValueError):
+    """Bad feeds or an inconsistent graph at execution time."""
+
+
+class Interpreter:
+    """Evaluates a :class:`repro.dfg.ir.Dfg` on NumPy arrays."""
+
+    def __init__(self, dfg: ir.Dfg):
+        dfg.validate()
+        self._dfg = dfg
+
+    @property
+    def dfg(self) -> ir.Dfg:
+        return self._dfg
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        batch: bool = False,
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate the graph.
+
+        Args:
+            feeds: input name -> array. Every DATA and MODEL input must be
+                fed. Array dims must match the value's axes — with one
+                extra leading batch dimension everywhere on DATA inputs
+                when ``batch=True``.
+            batch: evaluate for a whole batch of samples at once. MODEL
+                inputs are shared (no batch dim); all DATA inputs must
+                carry the same leading batch size.
+
+        Returns:
+            name -> array for every named output (gradients and assigned
+            model variables). Batch mode keeps the leading batch dim.
+        """
+        env: Dict[int, np.ndarray] = {}
+        batch_size = self._bind_inputs(feeds, env, batch)
+        for node in self._dfg.topo_order():
+            env[node.output] = self._execute(node, env, batch, batch_size)
+        results: Dict[str, np.ndarray] = {}
+        for name, vid in self._dfg.outputs.items():
+            # Materialise broadcast views; np.array keeps 0-d scalars 0-d
+            # (np.ascontiguousarray would promote them to shape (1,)).
+            results[name] = np.array(env[vid], dtype=np.float64)
+        return results
+
+    def gradients(
+        self, feeds: Mapping[str, np.ndarray], batch: bool = False
+    ) -> Dict[str, np.ndarray]:
+        """Like :meth:`run` but restricted to gradient outputs."""
+        out = self.run(feeds, batch=batch)
+        grad_names = {v.name for v in self._dfg.gradient_outputs()}
+        return {k: v for k, v in out.items() if k in grad_names}
+
+    # -- internals ---------------------------------------------------------
+    def _bind_inputs(
+        self, feeds: Mapping[str, np.ndarray], env: Dict[int, np.ndarray],
+        batch: bool,
+    ) -> Optional[int]:
+        batch_size: Optional[int] = None
+        for value in self._dfg.values.values():
+            if value.producer is not None:
+                continue
+            if value.category == ir.CONST:
+                env[value.vid] = np.float64(value.const_value)
+                continue
+            if value.name not in feeds:
+                raise InterpreterError(f"missing feed for input {value.name!r}")
+            arr = np.asarray(feeds[value.name], dtype=np.float64)
+            expect = self._dfg.shape(value)
+            if batch and value.category == ir.DATA:
+                if arr.shape[1:] != expect:
+                    raise InterpreterError(
+                        f"feed {value.name!r} has shape {arr.shape}, expected "
+                        f"(batch,) + {expect}"
+                    )
+                if batch_size is None:
+                    batch_size = arr.shape[0]
+                elif arr.shape[0] != batch_size:
+                    raise InterpreterError(
+                        "all DATA feeds must share one batch size"
+                    )
+            elif arr.shape != expect:
+                raise InterpreterError(
+                    f"feed {value.name!r} has shape {arr.shape}, expected {expect}"
+                )
+            env[value.vid] = arr
+        if batch and batch_size is None:
+            raise InterpreterError("batch mode requires at least one DATA feed")
+        return batch_size
+
+    def _execute(
+        self, node: ir.Node, env: Dict[int, np.ndarray], batch: bool,
+        batch_size: Optional[int],
+    ) -> np.ndarray:
+        info = op_info(node.op)
+        out_value = self._dfg.values[node.output]
+        out_axes = out_value.axes
+        if info.reduce:
+            in_value = self._dfg.values[node.inputs[0]]
+            arr = env[node.inputs[0]]
+            arr = self._with_batch(arr, in_value, batch, batch_size)
+            offset = 1 if batch else 0
+            positions = tuple(
+                offset + in_value.axes.index(a) for a in node.reduce_axes
+            )
+            return info.numpy_fn(arr, axis=positions)
+        aligned = []
+        for vid in node.inputs:
+            value = self._dfg.values[vid]
+            arr = self._with_batch(env[vid], value, batch, batch_size)
+            aligned.append(_align(arr, value.axes, out_axes, batch))
+        result = info.numpy_fn(*aligned)
+        # Materialise broadcasts so the output has its declared shape.
+        shape = self._dfg.shape(out_value)
+        if batch:
+            shape = (batch_size,) + shape
+        if np.shape(result) != shape:
+            result = np.broadcast_to(result, shape)
+        return result
+
+    def _with_batch(
+        self, arr: np.ndarray, value: ir.Value, batch: bool,
+        batch_size: Optional[int],
+    ) -> np.ndarray:
+        """Give every operand a leading batch dim in batch mode."""
+        if not batch:
+            return arr
+        has_batch = (
+            value.category == ir.DATA
+            or np.ndim(arr) == len(value.axes) + 1
+        )
+        if has_batch:
+            return arr
+        return np.expand_dims(arr, 0)
+
+
+def _align(
+    arr: np.ndarray, in_axes: Tuple[str, ...], out_axes: Tuple[str, ...],
+    batch: bool,
+) -> np.ndarray:
+    """Permute/expand ``arr`` so its trailing dims follow ``out_axes``."""
+    offset = 1 if batch else 0
+    if in_axes == out_axes:
+        return arr
+    present = [a for a in out_axes if a in in_axes]
+    perm = list(range(offset)) + [offset + in_axes.index(a) for a in present]
+    if np.ndim(arr) != offset + len(in_axes):
+        raise InterpreterError(
+            f"operand rank {np.ndim(arr)} does not match axes {in_axes}"
+        )
+    arr = np.transpose(arr, perm)
+    index = [slice(None)] * offset + [
+        slice(None) if a in in_axes else None for a in out_axes
+    ]
+    return arr[tuple(index)]

@@ -1,0 +1,35 @@
+"""Errors raised by the CoSMIC DSL front end.
+
+Every error carries a source position so that programmer mistakes in the
+22-55 line DSL programs (Table 1) are reported the way a production
+compiler would report them.
+"""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """Base class for all DSL front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line:
+            return f"{self.message} (line {self.line}, column {self.column})"
+        return self.message
+
+
+class LexError(DslError):
+    """An unrecognised character or malformed literal in the source."""
+
+
+class ParseError(DslError):
+    """The token stream does not match the DSL grammar."""
+
+
+class SemanticError(DslError):
+    """The program parses but violates a typing or usage rule."""

@@ -1,0 +1,135 @@
+"""Tokenizer for the CoSMIC DSL.
+
+The language is the TABLA-lineage mathematical DSL described in Section 4.1
+of the paper: declarations with five data types, assignment statements over
+mathematical expressions, group operators (``sum``/``pi``/``norm``) indexed
+by iterators, and an ``aggregator`` section describing how partial gradients
+from the scale-out nodes are combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "model_input",
+        "model_output",
+        "model",
+        "gradient",
+        "iterator",
+        "aggregator",
+        "minibatch",
+        "sum",
+        "pi",
+        "norm",
+    }
+)
+
+#: Built-in scalar functions implemented by the PE's non-linear LUT unit
+#: (Section 5.1: "sigmoid, gaussian, divide, and logarithm").
+FUNCTIONS = frozenset(
+    {"sigmoid", "gaussian", "log", "exp", "sqrt", "abs", "min", "max", "sign"}
+)
+
+_TWO_CHAR_OPS = (">=", "<=", "==", "!=")
+_ONE_CHAR_OPS = "+-*/<>?:=()[],;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based)."""
+
+    kind: str  # NUMBER | IDENT | KEYWORD | FUNC | OP | EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert DSL source text into a token list ending with an EOF token.
+
+    Comments run from ``#`` or ``//`` to end of line. Whitespace is
+    insignificant. Raises :class:`LexError` on unknown characters.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = col
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    source[i + 1].isdigit() or source[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 1
+                    if source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            col = start_col + len(text)
+            yield Token("NUMBER", text, line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col = start_col + len(text)
+            if text in KEYWORDS:
+                yield Token("KEYWORD", text, line, start_col)
+            elif text in FUNCTIONS:
+                yield Token("FUNC", text, line, start_col)
+            else:
+                yield Token("IDENT", text, line, start_col)
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            yield Token("OP", two, line, col)
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token("OP", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token("EOF", "", line, col)

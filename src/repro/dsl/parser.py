@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the CoSMIC DSL.
+
+Grammar (EBNF, ``;`` terminates statements)::
+
+    program     := item* ("aggregator" ":" item*)?
+    item        := declaration | param | assignment
+    declaration := dtype IDENT dims? ";"
+    dtype       := "model_input" | "model_output" | "model"
+                 | "gradient"    | "iterator"
+    dims        := ("[" dim "]")+ | "[" dim ":" dim "]"     # range: iterators
+    param       := IDENT "=" NUMBER ";" | "minibatch" "=" NUMBER ";"
+    assignment  := IDENT subscripts? "=" expr ";"
+    subscripts  := ("[" IDENT ("," IDENT)* "]")+
+    expr        := ternary
+    ternary     := compare ("?" expr ":" expr)?
+    compare     := additive ((">" | "<" | ">=" | "<=" | "==" | "!=") additive)?
+    additive    := term (("+" | "-") term)*
+    term        := unary (("*" | "/") unary)*
+    unary       := "-" unary | primary
+    primary     := NUMBER | reduce | call | ref | "(" expr ")"
+    reduce      := ("sum" | "pi" | "norm") "[" IDENT "]" "(" expr ")"
+    call        := FUNC "(" expr ("," expr)* ")"
+    ref         := IDENT subscripts?
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+_COMPARE_OPS = {">": "gt", "<": "lt", ">=": "ge", "<=": "le", "==": "eq", "!=": "ne"}
+_ADD_OPS = {"+": "add", "-": "sub"}
+_MUL_OPS = {"*": "mul", "/": "div"}
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL source text into a :class:`repro.dsl.ast.Program`."""
+    return _Parser(tokenize(source), source).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    # -- token helpers ---------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _match(self, kind: str, text: str = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str = None) -> Token:
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self._cur.text!r}",
+                self._cur.line,
+                self._cur.column,
+            )
+        return self._advance()
+
+    # -- grammar ---------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(source=self._source)
+        section = program.statements
+        while not self._check("EOF"):
+            if self._check("KEYWORD", "aggregator"):
+                self._advance()
+                self._expect("OP", ":")
+                section = program.aggregator
+                continue
+            self._parse_item(program, section)
+        return program
+
+    def _parse_item(self, program: ast.Program, section: List[ast.Assignment]):
+        tok = self._cur
+        if tok.kind == "KEYWORD" and tok.text in ast.DATA_TYPES:
+            program.declarations.append(self._parse_declaration())
+            return
+        if tok.kind == "KEYWORD" and tok.text == "minibatch":
+            self._advance()
+            self._expect("OP", "=")
+            num = self._expect("NUMBER")
+            self._expect("OP", ";")
+            program.params["minibatch"] = float(num.text)
+            return
+        if tok.kind == "IDENT":
+            # Either a scalar param (IDENT = NUMBER ;) or an assignment.
+            if self._is_scalar_param():
+                name = self._advance().text
+                self._expect("OP", "=")
+                sign = -1.0 if self._match("OP", "-") else 1.0
+                num = self._expect("NUMBER")
+                self._expect("OP", ";")
+                program.params[name] = sign * float(num.text)
+                return
+            section.append(self._parse_assignment())
+            return
+        raise ParseError(
+            f"unexpected token {tok.text!r} at top level", tok.line, tok.column
+        )
+
+    def _is_scalar_param(self) -> bool:
+        """Lookahead: IDENT '=' ['-'] NUMBER ';' is a meta-parameter."""
+        toks = self._tokens
+        i = self._pos
+        if toks[i + 1].kind != "OP" or toks[i + 1].text != "=":
+            return False
+        j = i + 2
+        if toks[j].kind == "OP" and toks[j].text == "-":
+            j += 1
+        return (
+            toks[j].kind == "NUMBER"
+            and toks[j + 1].kind == "OP"
+            and toks[j + 1].text == ";"
+        )
+
+    def _parse_declaration(self) -> ast.Declaration:
+        dtype_tok = self._advance()
+        name_tok = self._expect("IDENT")
+        dims: List[ast.Dim] = []
+        while self._match("OP", "["):
+            dims.append(self._parse_dim())
+            if dtype_tok.text == "iterator" and self._match("OP", ":"):
+                dims.append(self._parse_dim())
+            while self._match("OP", ","):
+                dims.append(self._parse_dim())
+            self._expect("OP", "]")
+        self._expect("OP", ";")
+        return ast.Declaration(
+            line=dtype_tok.line,
+            data_type=dtype_tok.text,
+            ident=name_tok.text,
+            dims=tuple(dims),
+        )
+
+    def _parse_dim(self) -> ast.Dim:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            self._advance()
+            return int(float(tok.text))
+        if tok.kind == "IDENT":
+            self._advance()
+            return tok.text
+        raise ParseError(
+            f"expected dimension, found {tok.text!r}", tok.line, tok.column
+        )
+
+    def _parse_subscripts(self) -> Tuple[str, ...]:
+        indices: List[str] = []
+        while self._match("OP", "["):
+            indices.append(self._expect("IDENT").text)
+            while self._match("OP", ","):
+                indices.append(self._expect("IDENT").text)
+            self._expect("OP", "]")
+        return tuple(indices)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        name_tok = self._expect("IDENT")
+        indices = self._parse_subscripts()
+        self._expect("OP", "=")
+        expr = self._parse_expr()
+        self._expect("OP", ";")
+        return ast.Assignment(
+            line=name_tok.line, target=name_tok.text, indices=indices, expr=expr
+        )
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_compare()
+        if self._match("OP", "?"):
+            if_true = self._parse_expr()
+            self._expect("OP", ":")
+            if_false = self._parse_expr()
+            return ast.Ternary(
+                line=cond.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        return cond
+
+    def _parse_compare(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._cur.kind == "OP" and self._cur.text in _COMPARE_OPS:
+            op = _COMPARE_OPS[self._advance().text]
+            right = self._parse_additive()
+            return ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_term()
+        while self._cur.kind == "OP" and self._cur.text in _ADD_OPS:
+            op = _ADD_OPS[self._advance().text]
+            right = self._parse_term()
+            left = ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._cur.kind == "OP" and self._cur.text in _MUL_OPS:
+            op = _MUL_OPS[self._advance().text]
+            right = self._parse_unary()
+            left = ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check("OP", "-"):
+            tok = self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Number):
+                return ast.Number(line=tok.line, value=-operand.value)
+            return ast.UnaryOp(line=tok.line, op="neg", operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            self._advance()
+            return ast.Number(line=tok.line, value=float(tok.text))
+        if tok.kind == "KEYWORD" and tok.text in ("sum", "pi", "norm"):
+            self._advance()
+            self._expect("OP", "[")
+            iterator = self._expect("IDENT").text
+            self._expect("OP", "]")
+            self._expect("OP", "(")
+            body = self._parse_expr()
+            self._expect("OP", ")")
+            return ast.Reduce(line=tok.line, kind=tok.text, iterator=iterator, body=body)
+        if tok.kind == "FUNC":
+            self._advance()
+            self._expect("OP", "(")
+            args = [self._parse_expr()]
+            while self._match("OP", ","):
+                args.append(self._parse_expr())
+            self._expect("OP", ")")
+            return ast.Call(line=tok.line, func=tok.text, args=tuple(args))
+        if tok.kind == "IDENT":
+            self._advance()
+            indices = self._parse_subscripts()
+            if indices:
+                return ast.Subscript(line=tok.line, ident=tok.text, indices=indices)
+            return ast.Name(line=tok.line, ident=tok.text)
+        if self._match("OP", "("):
+            expr = self._parse_expr()
+            self._expect("OP", ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.column
+        )

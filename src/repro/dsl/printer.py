@@ -1,0 +1,124 @@
+"""Canonical pretty-printer for DSL programs.
+
+Formats an AST back into source text that re-parses to an equivalent
+program — the basis for program canonicalisation, diffing generated
+programs (e.g. autodiff output), and the LoC accounting used by Table 1.
+Operator precedence is respected so no redundant parentheses are emitted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+# Precedence levels, loosest binding first.
+_PRECEDENCE = {
+    "ternary": 0,
+    "gt": 1, "lt": 1, "ge": 1, "le": 1, "eq": 1, "ne": 1,
+    "add": 2, "sub": 2,
+    "mul": 3, "div": 3,
+    "neg": 4,
+    "atom": 5,
+}
+_OP_TEXT = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/",
+    "gt": ">", "lt": "<", "ge": ">=", "le": "<=", "eq": "==", "ne": "!=",
+}
+#: Operators where (a op b) op c != a op (b op c): right operand at equal
+#: precedence needs parentheses.
+_NON_ASSOCIATIVE = {"sub", "div"}
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a full program in canonical form."""
+    lines: List[str] = []
+    for name, value in sorted(program.params.items()):
+        if name == "minibatch":
+            lines.append(f"minibatch = {_num(value)};")
+        else:
+            lines.append(f"{name} = {_num(value)};")
+    for decl in program.declarations:
+        lines.append(format_declaration(decl))
+    if program.params or program.declarations:
+        lines.append("")
+    for stmt in program.statements:
+        lines.append(format_statement(stmt))
+    if program.aggregator:
+        lines.append("")
+        lines.append("aggregator:")
+        for stmt in program.aggregator:
+            lines.append(format_statement(stmt))
+    return "\n".join(lines).strip() + "\n"
+
+
+def format_declaration(decl: ast.Declaration) -> str:
+    if not decl.dims:
+        return f"{decl.data_type} {decl.ident};"
+    if decl.data_type == "iterator" and len(decl.dims) == 2:
+        lo, hi = decl.dims
+        return f"{decl.data_type} {decl.ident}[{lo}:{hi}];"
+    dims = ", ".join(str(d) for d in decl.dims)
+    return f"{decl.data_type} {decl.ident}[{dims}];"
+
+
+def format_statement(stmt: ast.Assignment) -> str:
+    target = stmt.target
+    if stmt.indices:
+        target += "[" + ", ".join(stmt.indices) + "]"
+    return f"{target} = {format_expr(stmt.expr)};"
+
+
+def format_expr(expr: ast.Expr, parent_level: int = 0,
+                is_right: bool = False) -> str:
+    text, level = _render(expr)
+    needs_parens = level < parent_level or (
+        is_right and level == parent_level
+    )
+    return f"({text})" if needs_parens else text
+
+
+def _render(expr: ast.Expr):
+    if isinstance(expr, ast.Number):
+        return _num(expr.value), _PRECEDENCE["atom"]
+    if isinstance(expr, ast.Name):
+        return expr.ident, _PRECEDENCE["atom"]
+    if isinstance(expr, ast.Subscript):
+        return (
+            expr.ident + "[" + ", ".join(expr.indices) + "]",
+            _PRECEDENCE["atom"],
+        )
+    if isinstance(expr, ast.UnaryOp):
+        level = _PRECEDENCE["neg"]
+        inner = format_expr(expr.operand, level)
+        return f"-{inner}", level
+    if isinstance(expr, ast.BinaryOp):
+        level = _PRECEDENCE[expr.op]
+        assoc_right = expr.op in _NON_ASSOCIATIVE
+        left = format_expr(expr.left, level)
+        right = format_expr(expr.right, level, is_right=assoc_right)
+        # Comparisons do not chain in the grammar: both sides must bind
+        # tighter.
+        if level == 1:
+            left = format_expr(expr.left, level + 1)
+            right = format_expr(expr.right, level + 1)
+        return f"{left} {_OP_TEXT[expr.op]} {right}", level
+    if isinstance(expr, ast.Ternary):
+        level = _PRECEDENCE["ternary"]
+        cond = format_expr(expr.cond, level + 1)
+        if_true = format_expr(expr.if_true, level)
+        if_false = format_expr(expr.if_false, level)
+        return f"{cond} ? {if_true} : {if_false}", level
+    if isinstance(expr, ast.Reduce):
+        body = format_expr(expr.body)
+        return f"{expr.kind}[{expr.iterator}]({body})", _PRECEDENCE["atom"]
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})", _PRECEDENCE["atom"]
+    raise TypeError(f"cannot format {expr!r}")
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

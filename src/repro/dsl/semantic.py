@@ -1,0 +1,229 @@
+"""Semantic analysis for the CoSMIC DSL.
+
+Builds a symbol table and enforces the usage rules implied by Section 4.1:
+the five data types have fixed roles (training data in, gradient out), all
+subscripts must be declared iterators, and the aggregator section may only
+combine partial results into ``model``/``gradient`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from . import ast
+from .errors import SemanticError
+
+#: The symbolic dimension the aggregator section iterates over; bound by the
+#: runtime to the number of worker threads/nodes participating (Eq. 3b).
+NODES_SYMBOL = "nodes"
+
+
+@dataclass
+class Symbol:
+    """A declared or inferred program symbol."""
+
+    name: str
+    kind: str  # one of ast.DATA_TYPES, or "param", or "interim"
+    dims: Tuple[ast.Dim, ...] = ()
+    line: int = 0
+
+    @property
+    def is_iterator(self) -> bool:
+        return self.kind == "iterator"
+
+
+@dataclass
+class SymbolTable:
+    """Name → :class:`Symbol` mapping with typed accessors."""
+
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+
+    def add(self, symbol: Symbol):
+        if symbol.name in self.symbols:
+            raise SemanticError(
+                f"duplicate declaration of {symbol.name!r}", symbol.line
+            )
+        self.symbols[symbol.name] = symbol
+
+    def get(self, name: str) -> Symbol:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise SemanticError(f"use of undeclared identifier {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.symbols
+
+    def of_kind(self, kind: str) -> List[Symbol]:
+        return [s for s in self.symbols.values() if s.kind == kind]
+
+
+def analyze(program: ast.Program) -> SymbolTable:
+    """Validate ``program`` and return its symbol table.
+
+    Raises :class:`SemanticError` on any rule violation.
+    """
+    table = SymbolTable()
+    # The node count is implicitly available to the aggregator section;
+    # the runtime binds it to the number of participating workers (Eq. 3b).
+    table.add(Symbol(NODES_SYMBOL, "param", (), 0))
+    for decl in program.declarations:
+        _check_declaration(decl)
+        table.add(Symbol(decl.ident, decl.data_type, decl.dims, decl.line))
+    for name, value in program.params.items():
+        if name in table:
+            raise SemanticError(f"parameter {name!r} shadows a declaration")
+        table.add(Symbol(name, "param", (), 0))
+
+    if not table.of_kind("model"):
+        raise SemanticError("program declares no 'model' variable")
+    if not table.of_kind("gradient") and not program.statements:
+        raise SemanticError("program has no gradient formulation")
+
+    _check_section(program.statements, table, section="gradient")
+    _check_aggregator(program.aggregator, table)
+    return table
+
+
+def resolve_dims(
+    dims: Tuple[ast.Dim, ...], bindings: Mapping[str, int]
+) -> Tuple[int, ...]:
+    """Substitute symbolic dimensions (e.g. ``n``) with concrete sizes."""
+    resolved = []
+    for dim in dims:
+        if isinstance(dim, int):
+            resolved.append(dim)
+        elif dim in bindings:
+            resolved.append(int(bindings[dim]))
+        else:
+            raise SemanticError(f"unbound symbolic dimension {dim!r}")
+    return tuple(resolved)
+
+
+def iterator_extent(
+    symbol: Symbol, bindings: Mapping[str, int]
+) -> Tuple[int, int]:
+    """The (lo, hi) half-open range of an iterator, with symbols resolved."""
+    if not symbol.is_iterator:
+        raise SemanticError(f"{symbol.name!r} is not an iterator")
+    dims = resolve_dims(symbol.dims, bindings)
+    if len(dims) == 1:
+        return (0, dims[0])
+    if len(dims) == 2:
+        return (dims[0], dims[1])
+    raise SemanticError(
+        f"iterator {symbol.name!r} must have a range [lo:hi] or a size [n]"
+    )
+
+
+# -- internal checks -----------------------------------------------------
+
+
+def _check_declaration(decl: ast.Declaration):
+    if decl.data_type == "iterator":
+        if not decl.dims or len(decl.dims) > 2:
+            raise SemanticError(
+                f"iterator {decl.ident!r} needs a range [lo:hi] or size [n]",
+                decl.line,
+            )
+        lo_hi = [d for d in decl.dims if isinstance(d, int)]
+        if len(lo_hi) == 2 and lo_hi[0] >= lo_hi[1]:
+            raise SemanticError(
+                f"iterator {decl.ident!r} has an empty range", decl.line
+            )
+
+
+def _check_section(
+    statements: List[ast.Assignment], table: SymbolTable, section: str
+):
+    assigned: List[str] = []
+    for stmt in statements:
+        _check_assignment(stmt, table, assigned, section)
+        assigned.append(stmt.target)
+    if section == "gradient":
+        for grad in table.of_kind("gradient"):
+            if grad.name not in assigned:
+                raise SemanticError(
+                    f"gradient variable {grad.name!r} is never assigned"
+                )
+
+
+def _check_assignment(
+    stmt: ast.Assignment, table: SymbolTable, assigned: List[str], section: str
+):
+    if stmt.target in table:
+        target = table.get(stmt.target)
+        if target.kind in ("model_input", "iterator"):
+            raise SemanticError(
+                f"cannot assign to {target.kind} variable {stmt.target!r}",
+                stmt.line,
+            )
+        if len(stmt.indices) not in (0, len(target.dims)):
+            raise SemanticError(
+                f"{stmt.target!r} has {len(target.dims)} dimension(s), "
+                f"subscripted with {len(stmt.indices)}",
+                stmt.line,
+            )
+    else:
+        # First assignment to an undeclared name creates an interim value.
+        table.add(Symbol(stmt.target, "interim", (), stmt.line))
+    for index in stmt.indices:
+        if index not in table or not table.get(index).is_iterator:
+            raise SemanticError(
+                f"subscript {index!r} of {stmt.target!r} is not an iterator",
+                stmt.line,
+            )
+    bound = set(stmt.indices)
+    _check_expr(stmt.expr, table, bound, assigned, stmt.line)
+
+
+def _check_expr(expr, table: SymbolTable, bound, assigned, line: int):
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            if node.ident not in table:
+                raise SemanticError(
+                    f"use of undeclared identifier {node.ident!r}",
+                    node.line or line,
+                )
+            symbol = table.get(node.ident)
+            if symbol.is_iterator and node.ident not in bound:
+                # Iterators may appear as values only where bound by a
+                # reduce or the assignment target's subscripts.
+                raise SemanticError(
+                    f"iterator {node.ident!r} used outside its binding",
+                    node.line or line,
+                )
+        elif isinstance(node, ast.Subscript):
+            if node.ident not in table:
+                raise SemanticError(
+                    f"use of undeclared identifier {node.ident!r}",
+                    node.line or line,
+                )
+            for index in node.indices:
+                if index not in table or not table.get(index).is_iterator:
+                    raise SemanticError(
+                        f"subscript {index!r} is not an iterator",
+                        node.line or line,
+                    )
+        elif isinstance(node, ast.Reduce):
+            if node.iterator not in table or not table.get(node.iterator).is_iterator:
+                raise SemanticError(
+                    f"reduce over {node.iterator!r}, which is not an iterator",
+                    node.line or line,
+                )
+            bound = bound | {node.iterator}
+
+
+def _check_aggregator(statements: List[ast.Assignment], table: SymbolTable):
+    for stmt in statements:
+        if stmt.target in table:
+            target = table.get(stmt.target)
+            if target.kind not in ("model", "gradient", "interim"):
+                raise SemanticError(
+                    "aggregator may only assign model/gradient variables, "
+                    f"not {target.kind} {stmt.target!r}",
+                    stmt.line,
+                )
+    # Reuse the generic per-statement checks (creates interims as needed).
+    _check_section(statements, table, section="aggregator")

@@ -1,0 +1,177 @@
+"""Structural model of the template's three-level interconnect.
+
+Section 5.1: "PEs possess three distinct levels of connectivity" —
+bi-directional neighbour links within a row, a shared bus per row, and a
+hierarchical tree bus across rows whose nodes carry sigma/pi ALUs. This
+module models each level as an arbitrated structure and provides
+:func:`replay_transfers`, which re-executes a compiled schedule's
+transfers against the structures cycle by cycle — an independent check
+that the scheduler's calendar booked real, conflict-free resources.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..compiler.mapping import PeGrid
+from ..compiler.scheduling import (
+    NEIGHBOR_LATENCY,
+    ROW_BUS_LATENCY,
+    Schedule,
+    tree_bus_latency,
+)
+
+
+class InterconnectError(ValueError):
+    """A transfer used a resource it could not have held."""
+
+
+@dataclass
+class NeighborLinks:
+    """Bi-directional links between adjacent PEs in a row.
+
+    Each directed pair has its own wire, so neighbour transfers never
+    contend; the model only validates adjacency and latency.
+    """
+
+    grid: PeGrid
+    transfers: int = 0
+
+    def carry(self, src: int, dst: int, start: int, latency: int):
+        src_row, src_col = self.grid.position(src)
+        dst_row, dst_col = self.grid.position(dst)
+        if src_row != dst_row or abs(src_col - dst_col) != 1:
+            raise InterconnectError(
+                f"PEs {src} and {dst} are not row-adjacent"
+            )
+        if latency != NEIGHBOR_LATENCY:
+            raise InterconnectError(
+                f"neighbour link latency is {NEIGHBOR_LATENCY}, got {latency}"
+            )
+        self.transfers += 1
+
+
+@dataclass
+class RowBus:
+    """One row's shared, pipelined bus: a single grant per cycle."""
+
+    row: int
+    granted_cycles: Set[int] = field(default_factory=set)
+
+    def carry(self, start: int, latency: int):
+        if latency != ROW_BUS_LATENCY:
+            raise InterconnectError(
+                f"row bus latency is {ROW_BUS_LATENCY}, got {latency}"
+            )
+        if start in self.granted_cycles:
+            raise InterconnectError(
+                f"row bus {self.row} double-granted at cycle {start}"
+            )
+        self.granted_cycles.add(start)
+
+    @property
+    def transfers(self) -> int:
+        return len(self.granted_cycles)
+
+
+@dataclass
+class TreeBus:
+    """The hierarchical bus across rows, with per-node reduction ALUs.
+
+    Pipelined: one new transfer may enter per cycle; latency grows with
+    ``2 * ceil(log2(rows))`` as the message climbs and descends.
+    """
+
+    rows: int
+    issued_cycles: Set[int] = field(default_factory=set)
+    reductions: int = 0
+
+    @property
+    def levels(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.rows))))
+
+    def carry(self, start: int, latency: int):
+        expected = tree_bus_latency(self.rows)
+        if latency != expected:
+            raise InterconnectError(
+                f"tree bus latency for {self.rows} rows is {expected}, "
+                f"got {latency}"
+            )
+        if start in self.issued_cycles:
+            raise InterconnectError(
+                f"tree bus double-issued at cycle {start}"
+            )
+        self.issued_cycles.add(start)
+
+    def reduce(self, partials: List[float], op: str = "sum") -> float:
+        """A sigma/pi reduction performed by the tree's ALUs."""
+        self.reductions += 1
+        if op == "sum":
+            return float(sum(partials))
+        if op == "prod":
+            out = 1.0
+            for p in partials:
+                out *= p
+            return out
+        raise InterconnectError(f"tree ALUs support sum/pi, not {op!r}")
+
+    @property
+    def transfers(self) -> int:
+        return len(self.issued_cycles)
+
+
+@dataclass
+class InterconnectFabric:
+    """All three levels for one thread's PE allocation."""
+
+    grid: PeGrid
+    neighbors: NeighborLinks = None
+    row_buses: Dict[int, RowBus] = None
+    tree: TreeBus = None
+
+    def __post_init__(self):
+        self.neighbors = NeighborLinks(self.grid)
+        self.row_buses = {r: RowBus(r) for r in range(self.grid.rows)}
+        self.tree = TreeBus(self.grid.rows)
+
+    def traffic_summary(self) -> Dict[str, int]:
+        return {
+            "neighbor": self.neighbors.transfers,
+            "row_bus": sum(b.transfers for b in self.row_buses.values()),
+            "tree_bus": self.tree.transfers,
+        }
+
+
+def replay_transfers(schedule: Schedule) -> InterconnectFabric:
+    """Re-execute every scheduled transfer on the structural fabric.
+
+    Raises :class:`InterconnectError` if any transfer claims a resource
+    inconsistent with the topology (wrong latency, non-adjacent neighbour
+    hop, double grant). Returns the fabric with traffic counters.
+    """
+    fabric = InterconnectFabric(schedule.grid)
+    for t in sorted(schedule.transfers, key=lambda x: x.start):
+        if t.resource == "neighbor":
+            fabric.neighbors.carry(t.src_pe, t.dst_pe, t.start, t.latency)
+        elif t.resource.startswith("row_bus:"):
+            row = int(t.resource.split(":")[1])
+            src_row, _ = schedule.grid.position(t.src_pe)
+            if row != src_row:
+                raise InterconnectError(
+                    f"transfer from PE {t.src_pe} (row {src_row}) booked "
+                    f"row bus {row}"
+                )
+            fabric.row_buses[row].carry(t.start, t.latency)
+        elif t.resource == "tree_bus":
+            src_row, _ = schedule.grid.position(t.src_pe)
+            dst_row, _ = schedule.grid.position(t.dst_pe)
+            if src_row == dst_row:
+                raise InterconnectError(
+                    "same-row transfer routed over the tree bus"
+                )
+            fabric.tree.carry(t.start, t.latency)
+        else:
+            raise InterconnectError(f"unknown resource {t.resource!r}")
+    return fabric

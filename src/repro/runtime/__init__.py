@@ -1,0 +1,57 @@
+"""CoSMIC system layer: roles, networking, thread pools, and training."""
+
+from .async_sgd import (
+    StaleTrainingResult,
+    async_batch_seconds,
+    stale_train,
+    sync_batch_seconds,
+)
+from .checkpoint import Checkpoint, checkpoint_trainer, restore_trainer
+from .cluster import ClusterSimulator, ClusterSpec, IterationTiming
+from .faults import FaultSpec, apply_faults
+from .director import (
+    ROLE_DELTA,
+    ROLE_MASTER_SIGMA,
+    ROLE_SIGMA,
+    NodeRole,
+    Topology,
+    assign_roles,
+    default_groups,
+)
+from .events import EventLoop, Resource
+from .network import Network, NetworkConfig, Nic
+from .threads import CircularBuffer, PoolConfig, SigmaPipeline, WorkerPool
+from .trainer import DistributedTrainer, TrainingResult
+
+__all__ = [
+    "Checkpoint",
+    "checkpoint_trainer",
+    "restore_trainer",
+    "CircularBuffer",
+    "StaleTrainingResult",
+    "async_batch_seconds",
+    "stale_train",
+    "sync_batch_seconds",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "DistributedTrainer",
+    "EventLoop",
+    "FaultSpec",
+    "apply_faults",
+    "IterationTiming",
+    "Network",
+    "NetworkConfig",
+    "Nic",
+    "NodeRole",
+    "PoolConfig",
+    "ROLE_DELTA",
+    "ROLE_MASTER_SIGMA",
+    "ROLE_SIGMA",
+    "Resource",
+    "SigmaPipeline",
+    "Topology",
+    "TrainingResult",
+    "WorkerPool",
+    "assign_roles",
+    "default_groups",
+]

@@ -1,0 +1,228 @@
+"""Whole-cluster timing simulation of one training iteration.
+
+One iteration of the distributed flow (Figure 1):
+
+1. every node's accelerator computes its partial update over its share of
+   the mini-batch (Sigma nodes compute too);
+2. Delta nodes ship their locally-aggregated partial updates to their
+   group Sigma, whose networking/aggregation pools fold chunks into the
+   aggregation buffer as they land (overlapped, Figure 2);
+3. group Sigmas forward group aggregates to the master Sigma;
+4. the master broadcasts the updated model down the hierarchy, and the
+   next mini-batch begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .director import ROLE_DELTA, Topology, assign_roles
+from .events import EventLoop
+from .network import Network, NetworkConfig
+from .threads import PoolConfig, SigmaPipeline
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """System specification fed to the Director (Figure 3, right)."""
+
+    nodes: int
+    groups: Optional[int] = None
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    pools: PoolConfig = field(default_factory=PoolConfig)
+    #: Per-iteration host-side management: accelerator invocation, PCIe
+    #: descriptor setup, epoch bookkeeping. Lean by design (Section 3) —
+    #: there is no thread creation or generic scheduling on this path.
+    management_overhead_s: float = 0.4e-3
+
+
+@dataclass
+class IterationTiming:
+    """Wall-clock breakdown of one mini-batch iteration."""
+
+    total_s: float
+    compute_s: float  # mean accelerator busy time across nodes
+    compute_max_s: float
+    network_s: float  # time from first send to last aggregate landing
+    aggregation_busy_s: float  # CPU seconds spent folding partials
+    broadcast_s: float
+    management_s: float
+    #: observability: bytes on the wire and Sigma receive-side pressure
+    wire_bytes: int = 0
+    wire_messages: int = 0
+    sigma_rx_busy_s: float = 0.0
+    sigma_count: int = 1
+
+    def sigma_rx_utilization(self) -> float:
+        """Mean busy fraction of the Sigma NICs' receive sides — the
+        pressure hierarchical aggregation exists to relieve."""
+        if self.total_s <= 0 or self.sigma_count < 1:
+            return 0.0
+        return min(
+            1.0, self.sigma_rx_busy_s / (self.sigma_count * self.total_s)
+        )
+
+    @property
+    def communication_s(self) -> float:
+        """Everything that is not accelerator compute (Figure 13's split)."""
+        return max(0.0, self.total_s - self.compute_s)
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_s / self.total_s if self.total_s else 0.0
+
+
+ComputeFn = Callable[[int, int], float]
+"""(node_id, samples) -> accelerator seconds for that node's share."""
+
+
+class ClusterSimulator:
+    """Event-driven simulation of the CoSMIC system software."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        compute_seconds: ComputeFn,
+        update_bytes: int,
+    ):
+        """
+        Args:
+            spec: cluster shape and component parameters.
+            compute_seconds: accelerator model for a node's local batch.
+            update_bytes: size of one partial model update on the wire
+                (the model size — Table 1's "Model Size" column).
+        """
+        if update_bytes <= 0:
+            raise ValueError("model update must have positive size")
+        self.spec = spec
+        self.topology: Topology = assign_roles(spec.nodes, spec.groups)
+        self._compute_seconds = compute_seconds
+        self.update_bytes = update_bytes
+
+    def iteration(self, batch_samples: int) -> IterationTiming:
+        """Simulate one global mini-batch of ``batch_samples`` vectors."""
+        spec = self.spec
+        topo = self.topology
+        loop = EventLoop()
+        network = Network(loop, spec.network)
+
+        per_node = max(1, batch_samples // topo.nodes)
+        compute_done: Dict[int, float] = {}
+        compute_times: List[float] = []
+        for role in topo.roles:
+            seconds = self._compute_seconds(role.node_id, per_node)
+            compute_times.append(seconds)
+            compute_done[role.node_id] = spec.management_overhead_s + seconds
+
+        pipelines: Dict[int, SigmaPipeline] = {
+            s.node_id: SigmaPipeline(spec.pools) for s in topo.sigmas()
+        }
+        group_done: Dict[int, float] = {}
+
+        # Phase 2: deltas stream partial updates to their group sigma.
+        first_send = min(compute_done.values())
+        for sigma in topo.sigmas():
+            pipeline = pipelines[sigma.node_id]
+            # The sigma folds its own accelerator's partial locally.
+            own_done = pipeline.fold_local(
+                compute_done[sigma.node_id], self.update_bytes
+            )
+            group_done[sigma.group] = own_done
+            for delta in topo.deltas_of(sigma.node_id):
+                network.send(
+                    delta.node_id,
+                    sigma.node_id,
+                    self.update_bytes,
+                    compute_done[delta.node_id],
+                    on_chunk=_feed(pipeline),
+                )
+        loop.run()
+        for sigma in topo.sigmas():
+            group_done[sigma.group] = max(
+                group_done[sigma.group], pipelines[sigma.node_id].drained_at
+            )
+
+        # Phase 3: group aggregates -> master sigma.
+        master = topo.master
+        master_pipe = SigmaPipeline(spec.pools)
+        master_done = master_pipe.fold_local(
+            group_done[master.group], self.update_bytes
+        )
+        for sigma in topo.sigmas():
+            if sigma.node_id == master.node_id:
+                continue
+            network.send(
+                sigma.node_id,
+                master.node_id,
+                self.update_bytes,
+                group_done[sigma.group],
+                on_chunk=_feed(master_pipe),
+            )
+        loop.run()
+        master_done = max(master_done, master_pipe.drained_at)
+
+        # Phase 4: hierarchical model broadcast.
+        broadcast_done = master_done
+        for sigma in topo.sigmas():
+            sigma_recv = master_done
+            if sigma.node_id != master.node_id:
+                sigma_recv = network.send(
+                    master.node_id,
+                    sigma.node_id,
+                    self.update_bytes,
+                    master_done,
+                )
+            broadcast_done = max(broadcast_done, sigma_recv)
+            for delta in topo.deltas_of(sigma.node_id):
+                arrival = network.send(
+                    sigma.node_id,
+                    delta.node_id,
+                    self.update_bytes,
+                    sigma_recv,
+                )
+                broadcast_done = max(broadcast_done, arrival)
+        loop.run()
+
+        total = broadcast_done + spec.management_overhead_s
+        agg_busy = sum(
+            p.aggregation.busy_seconds() for p in pipelines.values()
+        ) + master_pipe.aggregation.busy_seconds()
+        sigma_rx_busy = sum(
+            network.nic(s.node_id).rx.busy_seconds for s in topo.sigmas()
+        )
+        return IterationTiming(
+            total_s=total,
+            compute_s=sum(compute_times) / len(compute_times),
+            compute_max_s=max(compute_times),
+            network_s=max(0.0, master_done - first_send),
+            aggregation_busy_s=agg_busy,
+            broadcast_s=broadcast_done - master_done,
+            management_s=2 * spec.management_overhead_s,
+            wire_bytes=network.bytes_sent,
+            wire_messages=network.messages_sent,
+            sigma_rx_busy_s=sigma_rx_busy,
+            sigma_count=len(topo.sigmas()),
+        )
+
+    def epoch_seconds(
+        self, dataset_samples: int, minibatch_per_node: int
+    ) -> float:
+        """One pass over the dataset: iterations x per-iteration time.
+
+        ``minibatch_per_node`` is the paper's ``b`` — local samples
+        processed before each aggregation (Section 2.2). A trailing
+        partial mini-batch still costs one (smaller) iteration.
+        """
+        batch_global = minibatch_per_node * self.topology.nodes
+        full, remainder = divmod(dataset_samples, batch_global)
+        seconds = 0.0
+        if full:
+            seconds += full * self.iteration(batch_global).total_s
+        if remainder or not full:
+            seconds += self.iteration(max(1, remainder)).total_s
+        return seconds
+
+
+def _feed(pipeline: SigmaPipeline):
+    return lambda time, nbytes: pipeline.on_chunk(time, nbytes)

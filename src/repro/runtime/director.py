@@ -1,0 +1,91 @@
+"""The System Director: role assignment and hierarchy (Sections 3, 4.3).
+
+The Director takes the system specification — total node count, number of
+groups, accelerator type — and assigns each node a role: every group has
+one Sigma node aggregating its Delta nodes' partial updates, and a master
+Sigma combines the group aggregates. Sigma nodes also compute their own
+partial gradients, since they carry accelerators too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+ROLE_MASTER_SIGMA = "master_sigma"
+ROLE_SIGMA = "sigma"
+ROLE_DELTA = "delta"
+
+
+@dataclass(frozen=True)
+class NodeRole:
+    """One node's place in the aggregation hierarchy."""
+
+    node_id: int
+    role: str
+    group: int
+    sigma_id: int  # the sigma this node reports to (itself for sigmas)
+
+
+@dataclass
+class Topology:
+    """Role assignment for a cluster."""
+
+    roles: List[NodeRole]
+    groups: int
+
+    @property
+    def nodes(self) -> int:
+        return len(self.roles)
+
+    @property
+    def master(self) -> NodeRole:
+        return next(r for r in self.roles if r.role == ROLE_MASTER_SIGMA)
+
+    def sigmas(self) -> List[NodeRole]:
+        return [r for r in self.roles if r.role != ROLE_DELTA]
+
+    def deltas_of(self, sigma_id: int) -> List[NodeRole]:
+        return [
+            r
+            for r in self.roles
+            if r.role == ROLE_DELTA and r.sigma_id == sigma_id
+        ]
+
+    def group_members(self, group: int) -> List[NodeRole]:
+        return [r for r in self.roles if r.group == group]
+
+
+def default_groups(nodes: int) -> int:
+    """One group per ~8 nodes so no Sigma aggregates too many peers."""
+    return max(1, math.ceil(nodes / 8))
+
+
+def assign_roles(nodes: int, groups: Optional[int] = None) -> Topology:
+    """Assign Sigma/Delta roles for ``nodes`` machines in ``groups`` groups.
+
+    Node 0 is the master Sigma (and group 0's Sigma); the first node of
+    each further group is that group's Sigma; everyone else is a Delta.
+    """
+    if nodes < 1:
+        raise ValueError("cluster needs at least one node")
+    groups = groups if groups is not None else default_groups(nodes)
+    if groups < 1 or groups > nodes:
+        raise ValueError(f"cannot split {nodes} nodes into {groups} groups")
+    per_group = [nodes // groups] * groups
+    for i in range(nodes % groups):
+        per_group[i] += 1
+
+    roles: List[NodeRole] = []
+    node_id = 0
+    for group, size in enumerate(per_group):
+        sigma_id = node_id
+        for offset in range(size):
+            if offset == 0:
+                role = ROLE_MASTER_SIGMA if group == 0 else ROLE_SIGMA
+            else:
+                role = ROLE_DELTA
+            roles.append(NodeRole(node_id, role, group, sigma_id))
+            node_id += 1
+    return Topology(roles=roles, groups=groups)

@@ -1,0 +1,169 @@
+"""Fault and variability injection for the cluster simulation.
+
+The paper evaluates a healthy cluster; any production deployment of a
+synchronous-aggregation design must also answer "what does one slow or
+flaky node cost?". This module injects three deterministic, seedable
+fault classes into :class:`repro.runtime.cluster.ClusterSimulator`:
+
+* **stragglers** — a node's accelerator/host runs slower by a factor
+  (thermal throttling, a noisy co-tenant, a degraded DIMM);
+* **degraded links** — a node's NIC sustains a fraction of line rate
+  (auto-negotiation fallback, a bad cable);
+* **transient drops** — a fraction of a node's messages need a
+  retransmit, adding a timeout penalty.
+
+Because the aggregation in Eq. 3b is a barrier, iteration time is the max
+over nodes — a single straggler is expected to dominate, which the
+ablation benchmarks quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import math
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault assignment for a cluster.
+
+    Attributes map node id -> severity:
+        straggler: compute-time multiplier (>1 is slower).
+        link_quality: fraction of NIC line rate the node sustains (0-1].
+        drop_rate: probability a message needs one retransmit.
+        retransmit_timeout_s: the penalty per retransmitted message.
+    """
+
+    straggler: Dict[int, float] = field(default_factory=dict)
+    link_quality: Dict[int, float] = field(default_factory=dict)
+    drop_rate: Dict[int, float] = field(default_factory=dict)
+    retransmit_timeout_s: float = 200e-3  # TCP RTO floor
+
+    def __post_init__(self):
+        for node, factor in self.straggler.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"straggler factor for node {node} must be >= 1"
+                )
+        for node, quality in self.link_quality.items():
+            if not 0.0 < quality <= 1.0:
+                raise ValueError(
+                    f"link quality for node {node} must be in (0, 1]"
+                )
+        for node, rate in self.drop_rate.items():
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(
+                    f"drop rate for node {node} must be in [0, 1)"
+                )
+
+    def compute_factor(self, node_id: int) -> float:
+        return self.straggler.get(node_id, 1.0)
+
+    def network_factor(self, node_id: int) -> float:
+        """Effective wire-time multiplier for the node's messages."""
+        quality = self.link_quality.get(node_id, 1.0)
+        return 1.0 / quality
+
+    def expected_retransmit_s(self, node_id: int) -> float:
+        """Expected extra latency per message from transient drops."""
+        rate = self.drop_rate.get(node_id, 0.0)
+        if rate <= 0:
+            return 0.0
+        # Geometric retries: rate/(1-rate) expected retransmits.
+        return self.retransmit_timeout_s * rate / (1.0 - rate)
+
+    @classmethod
+    def single_straggler(cls, node_id: int, factor: float) -> "FaultSpec":
+        """The canonical experiment: one node ``factor``x slower."""
+        return cls(straggler={node_id: factor})
+
+    @classmethod
+    def uniform_jitter(
+        cls, nodes: int, sigma: float, seed: int = 0
+    ) -> "FaultSpec":
+        """Log-normal per-node compute variability (fleet heterogeneity)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        factors = np.exp(np.abs(rng.normal(0.0, sigma, size=nodes)))
+        return cls(
+            straggler={i: float(max(1.0, f)) for i, f in enumerate(factors)}
+        )
+
+
+def faulty_compute(compute_seconds, faults: FaultSpec):
+    """Wrap a ``(node_id, samples) -> seconds`` model with stragglers."""
+
+    def wrapped(node_id: int, samples: int) -> float:
+        return compute_seconds(node_id, samples) * faults.compute_factor(
+            node_id
+        )
+
+    return wrapped
+
+
+def degraded_network_seconds(
+    base_seconds: float, node_id: int, faults: FaultSpec
+) -> float:
+    """Wire time for one message from/to a degraded node."""
+    return (
+        base_seconds * faults.network_factor(node_id)
+        + faults.expected_retransmit_s(node_id)
+    )
+
+
+def straggler_slowdown(
+    iteration_total_s: float, healthy_total_s: float
+) -> float:
+    """Relative cost of the injected faults for one iteration."""
+    if healthy_total_s <= 0:
+        return math.inf
+    return iteration_total_s / healthy_total_s
+
+
+def apply_faults(simulator, faults: Optional[FaultSpec]):
+    """Return a fault-injected clone of a ClusterSimulator.
+
+    Stragglers wrap the compute model; link degradation scales the wire
+    bandwidth of the cluster's network config (conservatively applying
+    the worst degraded node to the shared aggregation paths, since the
+    Sigma's receive schedule serialises on the slowest sender).
+    """
+    from .cluster import ClusterSimulator, ClusterSpec
+    from .network import NetworkConfig
+
+    if faults is None:
+        return simulator
+    spec = simulator.spec
+    worst_link = max(
+        (faults.network_factor(r.node_id) for r in simulator.topology.roles),
+        default=1.0,
+    )
+    worst_retry = max(
+        (
+            faults.expected_retransmit_s(r.node_id)
+            for r in simulator.topology.roles
+        ),
+        default=0.0,
+    )
+    network = NetworkConfig(
+        bandwidth_bps=spec.network.bandwidth_bps / worst_link,
+        latency_s=spec.network.latency_s + worst_retry,
+        per_message_overhead_s=spec.network.per_message_overhead_s,
+        per_chunk_overhead_s=spec.network.per_chunk_overhead_s,
+        chunk_bytes=spec.network.chunk_bytes,
+    )
+    new_spec = ClusterSpec(
+        nodes=spec.nodes,
+        groups=spec.groups,
+        network=network,
+        pools=spec.pools,
+        management_overhead_s=spec.management_overhead_s,
+    )
+    return ClusterSimulator(
+        new_spec,
+        faulty_compute(simulator._compute_seconds, faults),
+        simulator.update_bytes,
+    )

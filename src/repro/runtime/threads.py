@@ -1,0 +1,161 @@
+"""Internally-managed thread pools and the circular buffer (Section 3).
+
+The Sigma-node system software avoids generic OS thread management by
+keeping two fixed pools: the Networking Pool copies received chunks from
+kernel socket buffers into a Circular Buffer, and the Aggregation Pool
+consumes chunks from it, updating the Aggregation Buffer. Networking
+threads are producers, aggregation threads consumers; the circular buffer
+bounds memory and provides backpressure while letting communication and
+computation overlap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+from .events import Resource
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Service rates of the two pools on the host CPU.
+
+    ``copy_bytes_per_s`` is a kernel-to-user memcpy; ``aggregate_bytes_per_s``
+    is a vectorised AXPY over the aggregation buffer. Both derive from the
+    Xeon E3's memory system; thread counts default to the paper's setup of
+    a small fixed pool per role on the quad-core host.
+    """
+
+    networking_threads: int = 2
+    aggregation_threads: int = 2
+    copy_bytes_per_s: float = 6e9
+    aggregate_bytes_per_s: float = 4e9
+    wakeup_overhead_s: float = 2e-6  # epoll event dispatch, no thread spawn
+
+
+class WorkerPool:
+    """A fixed set of workers, each serially reusable."""
+
+    def __init__(self, name: str, workers: int):
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self._workers = [Resource(f"{name}[{i}]") for i in range(workers)]
+
+    def dispatch(self, earliest: float, duration: float) -> float:
+        """Run one work item on the first worker free; returns finish time."""
+        worker = min(self._workers, key=lambda w: max(w.free_at, earliest))
+        start = worker.acquire(earliest, duration)
+        return start + duration
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def busy_seconds(self) -> float:
+        return sum(w.busy_seconds for w in self._workers)
+
+
+class CircularBuffer:
+    """Bounded producer-consumer staging between the two pools.
+
+    Tracks occupancy over simulated time: a producer finishing a copy at
+    time ``t`` must wait until the consumer has freed enough space. The
+    buffer is deliberately small — "the Circular Buffer reduces the memory
+    required for aggregating partial results from multiple sources while
+    enabling overlap between communication and computation".
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        #: (free_time, nbytes) chunks currently occupying space
+        self._occupied: deque = deque()
+        self._used = 0
+        self.peak_used = 0
+        self.stall_seconds = 0.0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def reserve(self, when: float, nbytes: int, free_time: float) -> float:
+        """Claim ``nbytes`` at or after ``when``; returns the actual time.
+
+        ``free_time`` is when the consumer will release this chunk. If the
+        buffer is full, the producer stalls until enough chunks drain.
+        """
+        if nbytes > self.capacity_bytes:
+            raise ValueError("chunk larger than the whole circular buffer")
+        start = when
+        self._drain(start)
+        while self._used + nbytes > self.capacity_bytes:
+            if not self._occupied:
+                raise RuntimeError("buffer full but nothing draining")
+            next_free = self._occupied[0][0]
+            self.stall_seconds += max(0.0, next_free - start)
+            start = max(start, next_free)
+            self._drain(start)
+        self._occupied.append((free_time, nbytes))
+        self._occupied = deque(sorted(self._occupied))
+        self._used += nbytes
+        self.peak_used = max(self.peak_used, self._used)
+        return start
+
+    def _drain(self, now: float):
+        while self._occupied and self._occupied[0][0] <= now:
+            _, nbytes = self._occupied.popleft()
+            self._used -= nbytes
+
+
+class SigmaPipeline:
+    """The receive-copy-aggregate pipeline of a Sigma node (Figure 2)."""
+
+    def __init__(self, config: PoolConfig, buffer_bytes: int = 4 * 1024 * 1024):
+        self.config = config
+        self.networking = WorkerPool("net", config.networking_threads)
+        self.aggregation = WorkerPool("agg", config.aggregation_threads)
+        self.buffer = CircularBuffer(buffer_bytes)
+        self._aggregated_until = 0.0
+        self.bytes_aggregated = 0
+
+    def on_chunk(self, arrival: float, nbytes: int) -> float:
+        """Process one received chunk; returns its aggregation finish time.
+
+        The Incoming Network Handler catches the epoll event, a networking
+        thread copies the chunk into the circular buffer, and an
+        aggregation thread folds it into the aggregation buffer.
+        """
+        cfg = self.config
+        copy_s = nbytes / cfg.copy_bytes_per_s
+        agg_s = nbytes / cfg.aggregate_bytes_per_s
+        copy_done = self.networking.dispatch(
+            arrival + cfg.wakeup_overhead_s, copy_s
+        )
+        free_time_guess = copy_done + agg_s
+        reserved = self.buffer.reserve(copy_done - copy_s, nbytes, free_time_guess)
+        copy_done = reserved + copy_s
+        agg_done = self.aggregation.dispatch(copy_done, agg_s)
+        self._aggregated_until = max(self._aggregated_until, agg_done)
+        self.bytes_aggregated += nbytes
+        return agg_done
+
+    def fold_local(self, ready: float, nbytes: int) -> float:
+        """Fold the node's *own* partial update into the aggregate.
+
+        The local partial is already in host memory (DMA'd from the
+        accelerator), so it skips the socket copy and the circular buffer
+        and goes straight to an aggregation worker.
+        """
+        agg_s = nbytes / self.config.aggregate_bytes_per_s
+        agg_done = self.aggregation.dispatch(ready, agg_s)
+        self._aggregated_until = max(self._aggregated_until, agg_done)
+        self.bytes_aggregated += nbytes
+        return agg_done
+
+    @property
+    def drained_at(self) -> float:
+        """Time the last chunk so far was folded into the aggregate."""
+        return self._aggregated_until

@@ -1,0 +1,35 @@
+"""Tests for the convergence-vs-minibatch study."""
+
+import pytest
+
+from repro.bench.convergence import convergence_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return convergence_study(
+        names=("stock",), batch_sizes=(8, 64), samples=2048, epochs=3
+    )
+
+
+class TestConvergenceStudy:
+    def test_rows_per_batch_size(self, study):
+        assert len(study.rows) == 2
+
+    def test_smaller_batch_more_iterations(self, study):
+        by_batch = {r["batch"]: r for r in study.rows}
+        assert by_batch[8]["iterations"] > by_batch[64]["iterations"]
+
+    def test_smaller_batch_better_loss(self, study):
+        """More updates per sample budget -> lower loss (the statistical-
+        efficiency cost of large mini-batches the paper cites)."""
+        by_batch = {r["batch"]: r for r in study.rows}
+        assert by_batch[8]["final_loss"] <= by_batch[64]["final_loss"]
+
+    def test_simulated_time_positive(self, study):
+        for row in study.rows:
+            assert row["sim_seconds"] > 0
+
+    def test_summary_ratio(self, study):
+        key = "stock_loss_ratio_largest_vs_smallest_b"
+        assert study.summary[key] >= 1.0

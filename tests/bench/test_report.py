@@ -1,0 +1,63 @@
+"""Report-writer tests."""
+
+import pytest
+
+from repro.bench.report import (
+    generate_results,
+    render_markdown,
+    render_text,
+    write_report,
+)
+
+
+class TestGenerate:
+    def test_selected_experiments(self):
+        results = generate_results(["table1", "figure17"])
+        assert [r.experiment for r in results] == ["Table 1", "Figure 17"]
+
+    def test_ablation_by_name(self):
+        results = generate_results(["mapping"])
+        assert results[0].experiment.startswith("Ablation")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            generate_results(["figure99"])
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return generate_results(["table1"])
+
+    def test_text_contains_rows(self, results):
+        text = render_text(results)
+        assert "mnist" in text
+        assert "Table 1" in text
+
+    def test_markdown_table_syntax(self, results):
+        md = render_markdown(results)
+        assert md.startswith("## Table 1")
+        assert "| name |" in md or "| name " in md
+        assert "|---|" in md
+
+    def test_markdown_summary_with_paper_values(self):
+        md = render_markdown(generate_results(["figure17"]))
+        assert "**geomean_speedup**" in md
+        assert "(paper: 3.9)" in md
+
+
+class TestWrite:
+    def test_writes_text_file(self, tmp_path):
+        out = write_report(tmp_path / "report.txt", ["table1"])
+        assert out.exists()
+        assert "mnist" in out.read_text()
+
+    def test_writes_markdown_file(self, tmp_path):
+        out = write_report(
+            tmp_path / "report.md", ["figure17"], fmt="markdown"
+        )
+        assert out.read_text().startswith("## Figure 17")
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(tmp_path / "x", ["table1"], fmt="html")

@@ -1,0 +1,85 @@
+"""Gantt-rendering tests."""
+
+import pytest
+
+from repro.compiler import compile_thread
+from repro.compiler.gantt import render_gantt, utilization_by_pe
+from repro.dfg import translate
+from repro.dsl import parse
+
+LOGREG = """
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+p = sigmoid(sum[i](w[i] * x[i]));
+g[i] = (p - y) * x[i];
+"""
+
+
+@pytest.fixture
+def program():
+    dfg = translate(parse(LOGREG), {"n": 8}).dfg
+    return compile_thread(dfg, rows=2, columns=4)
+
+
+class TestRenderGantt:
+    def test_one_row_per_pe(self, program):
+        text = render_gantt(program)
+        for pe in range(program.grid.n_pe):
+            assert f"pe{pe} |" in text
+
+    def test_rows_span_makespan(self, program):
+        text = render_gantt(program)
+        row = next(l for l in text.splitlines() if l.startswith("pe0 |"))
+        body = row.split("|")[1]
+        assert len(body) == program.schedule.makespan
+
+    def test_glyphs_match_ops(self, program):
+        text = render_gantt(program)
+        assert "S" in text  # sigmoid scheduled somewhere
+        assert "S=sigmoid" in text
+
+    def test_busy_cells_match_schedule(self, program):
+        text = render_gantt(program)
+        rows = {
+            int(l.split("|")[0].strip()[2:]): l.split("|")[1]
+            for l in text.splitlines()
+            if l.startswith("pe")
+        }
+        busy_cells = sum(
+            sum(1 for ch in body if ch != " ") for body in rows.values()
+        )
+        scheduled = sum(
+            op.end - op.start for op in program.schedule.ops.values()
+        )
+        assert busy_cells == scheduled
+
+    def test_max_cycles_truncates(self, program):
+        text = render_gantt(program, max_cycles=10)
+        row = next(l for l in text.splitlines() if l.startswith("pe0 |"))
+        assert len(row.split("|")[1]) == 10
+        assert "showing first 10" in text
+
+    def test_transfers_listed(self, program):
+        text = render_gantt(program)
+        if program.schedule.transfers:
+            assert "transfers (" in text
+            assert "via " in text
+
+    def test_transfers_can_be_hidden(self, program):
+        text = render_gantt(program, show_transfers=False)
+        assert "transfers (" not in text
+
+
+class TestUtilization:
+    def test_fractions_bounded(self, program):
+        util = utilization_by_pe(program)
+        assert len(util) == program.grid.n_pe
+        for value in util.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_some_pe_is_busy(self, program):
+        util = utilization_by_pe(program)
+        assert max(util.values()) > 0.1

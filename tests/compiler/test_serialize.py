@@ -1,0 +1,102 @@
+"""Artifact serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_thread
+from repro.compiler.serialize import (
+    memory_schedule_from_dict,
+    program_to_dict,
+    program_to_json,
+    schedule_from_dict,
+    verify_artifact,
+)
+from repro.dfg import translate
+from repro.dsl import parse
+
+LINREG = """
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+s = sum[i](w[i] * x[i]);
+g[i] = (s - y) * x[i];
+"""
+
+
+@pytest.fixture
+def program():
+    dfg = translate(parse(LINREG), {"n": 12}).dfg
+    return compile_thread(dfg, rows=2, columns=4)
+
+
+class TestRoundTrip:
+    def test_json_is_valid(self, program):
+        payload = json.loads(program_to_json(program))
+        assert payload["format_version"] == 1
+        assert payload["grid"] == {"rows": 2, "columns": 4}
+
+    def test_schedule_roundtrip(self, program):
+        payload = program_to_dict(program)
+        schedule = schedule_from_dict(payload)
+        assert schedule.makespan == program.schedule.makespan
+        assert len(schedule.ops) == len(program.schedule.ops)
+        for nid, op in program.schedule.ops.items():
+            assert schedule.ops[nid] == op
+        assert schedule.transfers == program.schedule.transfers
+
+    def test_memory_schedule_roundtrip(self, program):
+        payload = program_to_dict(program)
+        memory = memory_schedule_from_dict(payload)
+        assert memory.preload == program.memory.preload
+        assert memory.per_sample == program.memory.per_sample
+        assert memory.drain == program.memory.drain
+
+    def test_deterministic(self, program):
+        assert program_to_json(program) == program_to_json(program)
+
+    def test_operations_sorted_by_start(self, program):
+        ops = program_to_dict(program)["operations"]
+        starts = [o["start"] for o in ops]
+        assert starts == sorted(starts)
+
+
+class TestVerification:
+    def test_matching_artifact_passes(self, program):
+        verify_artifact(program, program_to_dict(program))
+
+    def test_tampered_artifact_fails(self, program):
+        payload = program_to_dict(program)
+        payload["makespan"] += 1
+        with pytest.raises(ValueError, match="makespan"):
+            verify_artifact(program, payload)
+
+    def test_tampered_schedule_fails(self, program):
+        payload = program_to_dict(program)
+        payload["operations"][0]["pe"] ^= 1
+        with pytest.raises(ValueError):
+            verify_artifact(program, payload)
+
+    def test_wrong_version_rejected(self, program):
+        payload = program_to_dict(program)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            schedule_from_dict(payload)
+
+
+class TestReproducibleBuilds:
+    def test_recompilation_produces_identical_artifact(self):
+        dfg_a = translate(parse(LINREG), {"n": 12}).dfg
+        dfg_b = translate(parse(LINREG), {"n": 12}).dfg
+        a = compile_thread(dfg_a, rows=2, columns=4)
+        b = compile_thread(dfg_b, rows=2, columns=4)
+        assert program_to_dict(a) == program_to_dict(b)
+
+    def test_different_geometry_different_artifact(self):
+        dfg = translate(parse(LINREG), {"n": 12}).dfg
+        a = compile_thread(dfg, rows=2, columns=4)
+        dfg2 = translate(parse(LINREG), {"n": 12}).dfg
+        b = compile_thread(dfg2, rows=1, columns=4)
+        assert program_to_dict(a) != program_to_dict(b)

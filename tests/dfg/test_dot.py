@@ -1,0 +1,80 @@
+"""DOT export tests (structure of the generated text)."""
+
+import re
+
+import pytest
+
+from repro.compiler import compile_thread
+from repro.dfg import translate
+from repro.dfg.dot import program_to_dot, to_dot
+from repro.dsl import parse
+
+LINREG = """
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+s = sum[i](w[i] * x[i]);
+g[i] = (s - y) * x[i];
+"""
+
+
+@pytest.fixture
+def dfg():
+    return translate(parse(LINREG), {"n": 4}).dfg
+
+
+class TestToDot:
+    def test_valid_digraph_block(self, dfg):
+        dot = to_dot(dfg, name="linreg")
+        assert dot.startswith("digraph linreg {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_inputs_present_with_axes(self, dfg):
+        dot = to_dot(dfg)
+        assert '"x[i]"' in dot
+        assert '"w[i]"' in dot
+        assert '"y"' in dot
+
+    def test_every_node_rendered(self, dfg):
+        dot = to_dot(dfg)
+        for node in dfg.topo_order():
+            assert f"n{node.nid} [" in dot
+
+    def test_edges_match_graph(self, dfg):
+        dot = to_dot(dfg)
+        edges = re.findall(r"(\w+) -> n(\d+);", dot)
+        by_node = {}
+        for src, dst in edges:
+            by_node.setdefault(int(dst), []).append(src)
+        for node in dfg.topo_order():
+            assert len(by_node[node.nid]) == len(node.inputs)
+
+    def test_gradient_highlighted(self, dfg):
+        dot = to_dot(dfg)
+        assert "#ffe2b8" in dot  # gradient fill colour
+
+    def test_outputs_doubleoctagon(self, dfg):
+        dot = to_dot(dfg)
+        assert "doubleoctagon" in dot
+        assert "out_g" in dot
+
+    def test_reduce_axes_in_label(self, dfg):
+        dot = to_dot(dfg)
+        assert "reduce_sum[i]" in dot
+
+
+class TestProgramToDot:
+    def test_placement_annotations(self):
+        t = translate(parse(LINREG), {"n": 8})
+        program = compile_thread(t.dfg, rows=2, columns=4)
+        dot = program_to_dot(program)
+        assert re.search(r"pe\d+ t=\d+", dot)
+
+    def test_all_scheduled_ops_annotated(self):
+        t = translate(parse(LINREG), {"n": 8})
+        program = compile_thread(t.dfg, rows=1, columns=2)
+        dot = program_to_dot(program)
+        assert dot.count("t=") == len(program.schedule.ops)

@@ -1,0 +1,157 @@
+"""Pretty-printer tests: round-trip fidelity on every shipped program."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import Interpreter, translate
+from repro.dsl import parse
+from repro.dsl.printer import format_expr, format_program, format_statement
+from repro.ml import BENCHMARKS
+from repro.ml.inference import FORWARD_SOURCES
+
+
+def roundtrip(source: str):
+    program = parse(source)
+    text = format_program(program)
+    return program, parse(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_benchmark_programs(self, bench):
+        original, reparsed = roundtrip(bench.source())
+        assert len(original.statements) == len(reparsed.statements)
+        assert original.params == reparsed.params
+        assert [d.ident for d in original.declarations] == [
+            d.ident for d in reparsed.declarations
+        ]
+
+    @pytest.mark.parametrize("algorithm", sorted(FORWARD_SOURCES))
+    def test_forward_programs(self, algorithm):
+        roundtrip(FORWARD_SOURCES[algorithm])
+
+    def test_roundtrip_preserves_semantics(self):
+        """The reparsed program computes the same gradients."""
+        source = next(b for b in BENCHMARKS if b.name == "face").source()
+        original = translate(parse(source), {"n": 8})
+        reparsed = translate(parse(format_program(parse(source))), {"n": 8})
+        rng = np.random.default_rng(0)
+        feeds = {
+            "x": rng.normal(size=8),
+            "y": np.float64(1.0),
+            "w": rng.normal(size=8),
+        }
+        a = Interpreter(original.dfg).run(feeds)["g"]
+        b = Interpreter(reparsed.dfg).run(feeds)["g"]
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_idempotent(self):
+        source = BENCHMARKS[0].source()
+        once = format_program(parse(source))
+        twice = format_program(parse(once))
+        assert once == twice
+
+
+class TestPrecedence:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a - b - c",
+            "a / (b / c)",
+            "-a * b",
+            "a * -b",
+            "(a + b) > (c - 1) ? a : b",
+            "sum[i](w[i] * x[i]) / n",
+        ],
+    )
+    def test_expression_roundtrip_semantics(self, expr):
+        source = (
+            "model a; model b; model c; model w[n]; model_input x[n]; "
+            f"gradient g_a; n = 4; iterator i[0:n]; g_a = {expr};"
+        )
+        program = parse(source)
+        text = format_program(program)
+        reparsed = parse(text)
+        t1 = translate(program, {"n": 4})
+        t2 = translate(reparsed, {"n": 4})
+        rng = np.random.default_rng(1)
+        feeds = {
+            name: rng.normal(size=t1.dfg.shape(v)) if v.axes else
+            np.float64(rng.normal())
+            for name, v in (
+                (v.name, v)
+                for v in t1.dfg.values.values()
+                if v.producer is None and v.category in ("DATA", "MODEL")
+            )
+        }
+        out1 = Interpreter(t1.dfg).run(feeds)
+        out2 = Interpreter(t2.dfg).run(feeds)
+        for key in out1:
+            np.testing.assert_allclose(out1[key], out2[key], rtol=1e-12)
+
+    def test_no_redundant_parens_simple(self):
+        program = parse("model a; model b; r = a + b;")
+        assert format_statement(program.statements[0]) == "r = a + b;"
+
+    def test_parens_preserved_where_needed(self):
+        program = parse("model a; model b; model c; r = (a + b) * c;")
+        text = format_statement(program.statements[0])
+        assert text == "r = (a + b) * c;"
+
+
+class TestFragments:
+    def test_scalar_number_formatting(self):
+        program = parse("mu = 0.5; minibatch = 10000; model w[n];")
+        text = format_program(program)
+        assert "mu = 0.5;" in text
+        assert "minibatch = 10000;" in text
+
+    def test_iterator_range_form(self):
+        program = parse("model w[n]; iterator i[0:n]; r = 1 + 1;")
+        assert "iterator i[0:n];" in format_program(program)
+
+    def test_matrix_declaration(self):
+        program = parse("model w[n, m]; r = 1 + 1;")
+        assert "model w[n, m];" in format_program(program)
+
+
+@st.composite
+def random_exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["a", "b", "c", "2", "0.5"]))
+    kind = draw(st.sampled_from(["bin", "neg", "ternary"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        return (
+            f"({draw(random_exprs(depth=depth + 1))} {op} "
+            f"{draw(random_exprs(depth=depth + 1))})"
+        )
+    if kind == "neg":
+        return f"(-{draw(random_exprs(depth=depth + 1))})"
+    return (
+        f"({draw(random_exprs(depth=depth + 1))} > "
+        f"{draw(random_exprs(depth=depth + 1))} ? "
+        f"{draw(random_exprs(depth=depth + 1))} : "
+        f"{draw(random_exprs(depth=depth + 1))})"
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(random_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_random_expressions_evaluate_identically(self, expr):
+        source = f"model a; model b; model c; gradient g_a; g_a = {expr} + 0;"
+        program = parse(source)
+        reparsed = parse(format_program(program))
+        t1 = translate(program, {})
+        t2 = translate(reparsed, {})
+        feeds = {"a": np.float64(1.7), "b": np.float64(-0.3),
+                 "c": np.float64(2.5)}
+        out1 = Interpreter(t1.dfg).run(feeds)
+        out2 = Interpreter(t2.dfg).run(feeds)
+        np.testing.assert_allclose(out1["g_a"], out2["g_a"], rtol=1e-12)

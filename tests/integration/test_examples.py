@@ -1,0 +1,34 @@
+"""Every shipped example must run to completion (they self-assert)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "OK" in proc.stdout
+
+
+def test_all_five_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "medical_diagnosis",
+        "recommender_scaleout",
+        "accelerator_codesign",
+        "custom_loss_autodiff",
+    }

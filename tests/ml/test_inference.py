@@ -1,0 +1,101 @@
+"""Inference-path tests: forward programs and predictors."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import Interpreter
+from repro.ml import benchmark
+from repro.ml.inference import (
+    FORWARD_SOURCES,
+    forward_translation,
+    inference_speedup_vs_training,
+    predict,
+    quality,
+)
+
+ALGOS = sorted(FORWARD_SOURCES)
+
+
+class TestForwardPrograms:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_translates_and_validates(self, algorithm):
+        bindings = {"n": 8, "h": 4, "c": 3, "e": 10, "f": 2}
+        t = forward_translation(algorithm, bindings)
+        t.dfg.validate()
+        assert "pred" in t.dfg.outputs
+
+    @pytest.mark.parametrize(
+        "algorithm", ["linear_regression", "logistic_regression", "svm"]
+    )
+    def test_forward_matches_reference(self, algorithm):
+        rng = np.random.default_rng(0)
+        n = 7
+        t = forward_translation(algorithm, {"n": n})
+        w = rng.normal(size=n)
+        x = rng.normal(size=n)
+        out = Interpreter(t.dfg).run({"x": x, "w": w})["pred"]
+        ref = predict(algorithm, {"w": w}, {"x": x[None, :]})[0]
+        np.testing.assert_allclose(out, ref, rtol=1e-9)
+
+    def test_mlp_forward_matches_reference(self):
+        rng = np.random.default_rng(1)
+        n, h, c = 5, 4, 3
+        t = forward_translation("backpropagation", {"n": n, "h": h, "c": c})
+        model = {
+            "w1": rng.normal(size=(n, h)),
+            "w2": rng.normal(size=(h, c)),
+        }
+        x = rng.normal(size=n)
+        out = Interpreter(t.dfg).run({"x": x, **model})["pred"]
+        ref = predict("backpropagation", model, {"x": x[None, :]})[0]
+        np.testing.assert_allclose(out, ref, rtol=1e-9)
+
+    def test_forward_compiles_through_stack(self):
+        from repro.compiler import compile_thread
+
+        t = forward_translation("logistic_regression", {"n": 8})
+        compile_thread(t.dfg, rows=1, columns=4).verify()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            forward_translation("kmeans", {})
+
+
+class TestQualityMetrics:
+    def test_truth_scores_best(self):
+        """The planted model's quality beats a random model's on every
+        benchmark task."""
+        rng = np.random.default_rng(2)
+        for name in ("stock", "tumor", "face", "mnist", "movielens"):
+            b = benchmark(name)
+            ds = b.make_dataset(samples=256, seed=3)
+            random_model = {
+                k: rng.normal(size=v.shape) for k, v in ds.truth.items()
+            }
+            assert quality(b.algorithm, ds.truth, ds.feeds) >= quality(
+                b.algorithm, random_model, ds.feeds
+            )
+
+    def test_accuracy_bounded(self):
+        b = benchmark("tumor")
+        ds = b.make_dataset(samples=128, seed=4)
+        q = quality(b.algorithm, ds.truth, ds.feeds)
+        assert 0.0 <= q <= 1.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            quality("kmeans", {}, {})
+
+
+class TestInferenceSpeedup:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_inference_cheaper_than_training(self, algorithm):
+        bindings = {"n": 64, "h": 32, "c": 8, "e": 100, "f": 4}
+        speedup = inference_speedup_vs_training(algorithm, bindings)
+        assert speedup > 1.3
+
+    def test_backprop_saves_the_backward_pass(self):
+        speedup = inference_speedup_vs_training(
+            "backpropagation", {"n": 64, "h": 64, "c": 8}
+        )
+        assert speedup > 2.0  # forward is ~1/3 of fwd+bwd work

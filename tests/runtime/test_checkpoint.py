@@ -1,0 +1,118 @@
+"""Checkpoint tests: round-trip fidelity and bit-identical resumption."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import translate
+from repro.dsl import parse
+from repro.runtime import DistributedTrainer
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    checkpoint_trainer,
+    restore_trainer,
+)
+
+LINREG = """
+mu = 0.05;
+model_input x[n];
+model_output y;
+model w[n];
+gradient g[n];
+iterator i[0:n];
+s = sum[i](w[i] * x[i]);
+g[i] = (s - y) * x[i];
+"""
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(3)
+    n, N = 6, 512
+    w = rng.normal(size=n)
+    X = rng.normal(size=(N, n))
+    Y = X @ w
+    return translate(parse(LINREG), {"n": n}), {"x": X, "y": Y}
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        ckpt = Checkpoint(
+            model={"w": np.arange(4.0), "v": np.ones((2, 3))},
+            iterations=17,
+            epoch=2,
+            loss_history=[1.0, 0.5],
+            benchmark="stock",
+        )
+        path = ckpt.save(tmp_path / "run.npz")
+        loaded = Checkpoint.load(path)
+        assert loaded.iterations == 17
+        assert loaded.epoch == 2
+        assert loaded.loss_history == [1.0, 0.5]
+        assert loaded.benchmark == "stock"
+        np.testing.assert_array_equal(loaded.model["w"], np.arange(4.0))
+        np.testing.assert_array_equal(loaded.model["v"], np.ones((2, 3)))
+
+    def test_rng_state_roundtrips(self, tmp_path):
+        rng = np.random.default_rng(9)
+        rng.random(100)  # advance
+        ckpt = Checkpoint(
+            model={"w": np.zeros(2)},
+            rng_state=Checkpoint.capture_rng(rng),
+        )
+        loaded = Checkpoint.load(ckpt.save(tmp_path / "r.npz"))
+        resumed = loaded.make_rng()
+        np.testing.assert_array_equal(resumed.random(5), rng.random(5))
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        import repro.runtime.checkpoint as cp
+
+        ckpt = Checkpoint(model={"w": np.zeros(1)})
+        path = ckpt.save(tmp_path / "v.npz")
+        # Tamper with the version field.
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive[cp._META_KEY]).decode())
+            arrays = {k: archive[k] for k in archive.files}
+        meta["format_version"] = 99
+        arrays[cp._META_KEY] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            Checkpoint.load(path)
+
+
+class TestResumption:
+    def test_resumed_run_bit_identical(self, problem, tmp_path):
+        """Train 4 epochs straight vs 2 + checkpoint + 2: same model."""
+        t, feeds = problem
+
+        straight = DistributedTrainer(t, nodes=2, threads_per_node=2, seed=5)
+        full = straight.train(feeds, epochs=4, minibatch_per_worker=16)
+
+        part1_trainer = DistributedTrainer(
+            t, nodes=2, threads_per_node=2, seed=5
+        )
+        part1 = part1_trainer.train(feeds, epochs=2, minibatch_per_worker=16)
+        ckpt = checkpoint_trainer(part1_trainer, part1, epoch=2)
+        path = ckpt.save(tmp_path / "mid.npz")
+
+        resumed_trainer = DistributedTrainer(
+            t, nodes=2, threads_per_node=2, seed=999  # wrong seed on purpose
+        )
+        restored = Checkpoint.load(path)
+        model = restore_trainer(resumed_trainer, restored)
+        part2 = resumed_trainer.train(
+            feeds, epochs=2, minibatch_per_worker=16, model=model
+        )
+        np.testing.assert_allclose(part2.model["w"], full.model["w"], rtol=0)
+
+    def test_checkpoint_counts(self, problem):
+        t, feeds = problem
+        trainer = DistributedTrainer(t, nodes=2, threads_per_node=1, seed=0)
+        result = trainer.train(feeds, epochs=1, minibatch_per_worker=32)
+        ckpt = checkpoint_trainer(trainer, result, epoch=1, benchmark="demo")
+        assert ckpt.iterations == result.iterations
+        assert ckpt.benchmark == "demo"

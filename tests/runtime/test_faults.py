@@ -1,0 +1,120 @@
+"""Fault-injection tests: stragglers dominate synchronous aggregation."""
+
+import pytest
+
+from repro.runtime import ClusterSimulator, ClusterSpec
+from repro.runtime.faults import (
+    FaultSpec,
+    apply_faults,
+    degraded_network_seconds,
+    faulty_compute,
+    straggler_slowdown,
+)
+
+
+def healthy(nodes=8, compute_s=10e-3, update_bytes=100_000):
+    return ClusterSimulator(
+        ClusterSpec(nodes=nodes), lambda nid, s: compute_s, update_bytes
+    )
+
+
+class TestFaultSpec:
+    def test_defaults_are_healthy(self):
+        spec = FaultSpec()
+        assert spec.compute_factor(0) == 1.0
+        assert spec.network_factor(0) == 1.0
+        assert spec.expected_retransmit_s(0) == 0.0
+
+    def test_single_straggler_factory(self):
+        spec = FaultSpec.single_straggler(3, 4.0)
+        assert spec.compute_factor(3) == 4.0
+        assert spec.compute_factor(0) == 1.0
+
+    def test_uniform_jitter_seeded(self):
+        a = FaultSpec.uniform_jitter(8, sigma=0.2, seed=1)
+        b = FaultSpec.uniform_jitter(8, sigma=0.2, seed=1)
+        assert a.straggler == b.straggler
+        assert all(f >= 1.0 for f in a.straggler.values())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"straggler": {0: 0.5}},
+            {"link_quality": {0: 0.0}},
+            {"link_quality": {0: 1.5}},
+            {"drop_rate": {0: 1.0}},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_retransmit_expectation(self):
+        spec = FaultSpec(drop_rate={0: 0.5}, retransmit_timeout_s=0.1)
+        assert spec.expected_retransmit_s(0) == pytest.approx(0.1)
+
+
+class TestInjection:
+    def test_straggler_dominates_iteration(self):
+        """Synchronous aggregation is a barrier: one 4x node costs ~4x
+        compute time regardless of the other seven healthy nodes."""
+        base = healthy().iteration(8 * 1000)
+        slowed = apply_faults(
+            healthy(), FaultSpec.single_straggler(5, 4.0)
+        ).iteration(8 * 1000)
+        assert slowed.compute_max_s == pytest.approx(4 * base.compute_max_s)
+        assert straggler_slowdown(slowed.total_s, base.total_s) > 1.5
+
+    def test_straggler_on_sigma_same_as_delta(self):
+        """The barrier makes the straggler's role irrelevant."""
+        on_sigma = apply_faults(
+            healthy(), FaultSpec.single_straggler(0, 3.0)
+        ).iteration(8000)
+        on_delta = apply_faults(
+            healthy(), FaultSpec.single_straggler(7, 3.0)
+        ).iteration(8000)
+        assert on_sigma.total_s == pytest.approx(on_delta.total_s, rel=0.25)
+
+    def test_degraded_link_slows_aggregation(self):
+        base = healthy(update_bytes=2_000_000).iteration(8000)
+        bad = apply_faults(
+            healthy(update_bytes=2_000_000), FaultSpec(link_quality={2: 0.25})
+        ).iteration(8000)
+        assert bad.total_s > 1.5 * base.total_s
+
+    def test_drop_rate_adds_latency(self):
+        base = healthy().iteration(8000)
+        flaky = apply_faults(
+            healthy(), FaultSpec(drop_rate={1: 0.2})
+        ).iteration(8000)
+        assert flaky.total_s > base.total_s
+
+    def test_no_faults_identity(self):
+        sim = healthy()
+        assert apply_faults(sim, None) is sim
+
+    def test_faulty_compute_wrapper(self):
+        fn = faulty_compute(lambda nid, s: 1.0, FaultSpec.single_straggler(2, 5.0))
+        assert fn(2, 10) == 5.0
+        assert fn(0, 10) == 1.0
+
+    def test_degraded_network_seconds(self):
+        spec = FaultSpec(link_quality={1: 0.5}, drop_rate={1: 0.1})
+        t = degraded_network_seconds(0.01, 1, spec)
+        assert t > 0.02  # halved bandwidth + retransmit expectation
+
+
+class TestFleetJitter:
+    def test_jitter_cost_grows_with_cluster(self):
+        """With log-normal node variability, the max over nodes — and so
+        the synchronous iteration time — grows with the fleet size."""
+        def slowdown(nodes):
+            sim = healthy(nodes=nodes)
+            base = sim.iteration(nodes * 1000).total_s
+            jit = apply_faults(
+                healthy(nodes=nodes),
+                FaultSpec.uniform_jitter(nodes, sigma=0.3, seed=7),
+            ).iteration(nodes * 1000).total_s
+            return jit / base
+
+        assert slowdown(16) >= slowdown(2) * 0.95

@@ -1,0 +1,103 @@
+"""CLI tests (in-process, asserting on captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchmarksCommand:
+    def test_lists_all_ten(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mnist", "netflix", "cancer2"):
+            assert name in out
+
+
+class TestExperimentCommand:
+    def test_runs_a_figure(self, capsys):
+        assert main(["experiment", "figure17"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLA" in out
+        assert "geomean_speedup" in out
+
+    def test_runs_a_table(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "movielens" in capsys.readouterr().out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestAblationCommand:
+    def test_runs_one(self, capsys):
+        assert main(["ablation", "mapping"]) == 0
+        assert "ops-first" in capsys.readouterr().out
+
+    def test_unknown_fails(self, capsys):
+        assert main(["ablation", "nonsense"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_plan_fpga(self, capsys):
+        assert main(["plan", "mnist"]) == 0
+        out = capsys.readouterr().out
+        assert "UltraScale+" in out
+        assert "design point" in out
+        assert "compute" in out
+
+    def test_plan_pasic(self, capsys):
+        assert main(["plan", "stock", "--chip", "pasic-g"]) == 0
+        assert "P-ASIC-G" in capsys.readouterr().out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["plan", "bert"])
+
+
+class TestRtlCommand:
+    def test_emits_verilog(self, capsys):
+        assert main(["rtl", "stock", "--rows", "1", "--columns", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "module cosmic_pe" in out
+        assert "cosmic_control_fsm" in out
+
+    def test_pasic_target(self, capsys):
+        assert main(["rtl", "stock", "--target", "pasic",
+                     "--rows", "1", "--columns", "2"]) == 0
+        assert "cosmic_microcode_rom" in capsys.readouterr().out
+
+
+class TestTrainCommand:
+    def test_trains_linear_benchmark(self, capsys):
+        code = main([
+            "train", "stock", "--nodes", "2", "--threads", "1",
+            "--epochs", "3", "--samples", "512",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss:" in out
+        assert "simulated seconds:" in out
+
+    def test_trains_cf_benchmark(self, capsys):
+        code = main([
+            "train", "movielens", "--nodes", "2", "--threads", "1",
+            "--epochs", "6", "--samples", "512",
+        ])
+        assert code == 0
+        assert "movielens" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "benchmarks"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "mnist" in proc.stdout

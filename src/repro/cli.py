@@ -9,6 +9,9 @@ Commands:
 * ``rtl <benchmark> [--target fpga|pasic]`` — emit generated Verilog.
 * ``train <benchmark>`` — actually train the (scaled) benchmark on a
   simulated cluster and report loss plus simulated wall-clock.
+* ``chaos <benchmark> [--scenario ...]`` — train under an injected fault
+  scenario with the fault-tolerant runtime and report recovery cost
+  against the healthy run.
 """
 
 from __future__ import annotations
@@ -53,6 +56,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument("--samples", type=int, default=2048)
     train.add_argument("--seed", type=int, default=0)
+
+    from .runtime.recovery import SCENARIOS
+
+    chaos = sub.add_parser(
+        "chaos", help="train under an injected fault scenario"
+    )
+    chaos.add_argument("benchmark")
+    chaos.add_argument(
+        "--scenario", default="master-crash", choices=list(SCENARIOS)
+    )
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument("--groups", type=int, default=2)
+    chaos.add_argument("--threads", type=int, default=1)
+    chaos.add_argument("--epochs", type=int, default=2)
+    chaos.add_argument("--samples", type=int, default=1024)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--checkpoint-every", type=int, default=4)
     return parser
 
 
@@ -71,6 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_rtl(args.benchmark, args.target, args.rows, args.columns)
     if command == "train":
         return _cmd_train(args)
+    if command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -199,6 +221,100 @@ def _cmd_train(args) -> int:
     print(f"loss:              {result.loss_history[0]:.4f} -> "
           f"{result.final_loss:.4f}")
     print(f"simulated seconds: {result.simulated_seconds:.4f}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .bench.chaos import fault_tolerance_config
+    from .core import platform_for
+    from .ml import benchmark
+    from .runtime import (
+        ClusterSimulator,
+        ClusterSpec,
+        DistributedTrainer,
+        assign_roles,
+        chaos_train,
+        scenario_timeline,
+    )
+
+    b = benchmark(args.benchmark)
+    platform = platform_for(b, "fpga")
+    translation = b.translate(scaled=True)
+    dataset = b.make_dataset(samples=args.samples, seed=args.seed)
+    spec = ClusterSpec(nodes=args.nodes, groups=args.groups)
+    topology = assign_roles(args.nodes, args.groups)
+    update_bytes = b.model_bytes()
+
+    def compute(node_id: int, samples: int) -> float:
+        return platform.compute_seconds(samples)
+
+    minibatch = max(1, args.samples // (8 * args.nodes * args.threads))
+    iteration_s = (
+        ClusterSimulator(spec, compute, update_bytes)
+        .iteration(minibatch * args.nodes * args.threads)
+        .total_s
+    )
+    config = fault_tolerance_config(
+        iteration_s, checkpoint_every=args.checkpoint_every
+    )
+    init = DistributedTrainer(
+        translation, nodes=args.nodes, seed=args.seed
+    ).initial_model(
+        scale=0.2 if b.algorithm == "collaborative_filtering" else 0.0
+    )
+
+    def run(timeline):
+        return chaos_train(
+            translation,
+            dataset.feeds,
+            spec,
+            compute,
+            update_bytes,
+            timeline=timeline,
+            config=config,
+            epochs=args.epochs,
+            threads_per_node=args.threads,
+            minibatch_per_worker=minibatch,
+            loss_fn=dataset.loss,
+            model={k: v.copy() for k, v in init.items()},
+            seed=args.seed,
+        )
+
+    healthy = run(scenario_timeline("healthy", topology, iteration_s))
+    result = run(scenario_timeline(args.scenario, topology, iteration_s))
+
+    print(f"benchmark:          {b.name} ({dataset.description})")
+    print(f"cluster:            {args.nodes} nodes x {args.groups} groups")
+    print(f"scenario:           {args.scenario}")
+    for event in result.events:
+        line = (
+            f"  t={event.time_s:.3f}s {event.kind} nodes={event.nodes} "
+            f"detect={event.detection_s * 1e3:.1f}ms "
+            f"rehierarchy={event.rehierarchy_s * 1e3:.1f}ms"
+        )
+        if event.rollback_iterations:
+            line += f" rollback={event.rollback_iterations}it"
+        if event.promoted_master is not None:
+            line += f" new_master={event.promoted_master}"
+        print(line)
+    if not result.events:
+        print("  (no faults injected)")
+    print(f"iterations:         {result.iterations}")
+    print(f"checkpoints:        {result.checkpoints_taken}")
+    print(f"time to recovery:   {result.time_to_recovery_s:.4f}s")
+    print(f"simulated seconds:  {result.simulated_seconds:.4f} "
+          f"(healthy {healthy.simulated_seconds:.4f})")
+    print(f"throughput kept:    "
+          f"{100 * result.throughput_retained(healthy.simulated_seconds):.1f}%")
+    delta = (
+        abs(result.final_loss - healthy.final_loss)
+        / abs(healthy.final_loss)
+        * 100.0
+        if healthy.final_loss
+        else 0.0
+    )
+    print(f"loss:               {result.final_loss:.4f} "
+          f"(healthy {healthy.final_loss:.4f}, delta {delta:.2f}%)")
     return 0
 
 

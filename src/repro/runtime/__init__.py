@@ -7,27 +7,65 @@ from .async_sgd import (
     sync_batch_seconds,
 )
 from .checkpoint import Checkpoint, checkpoint_trainer, restore_trainer
-from .cluster import ClusterSimulator, ClusterSpec, IterationTiming
-from .faults import FaultSpec, apply_faults
+from .cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    IterationTiming,
+    QuorumConfig,
+)
+from .faults import (
+    FaultSpec,
+    FaultTimeline,
+    NodeCrash,
+    Partition,
+    apply_faults,
+)
 from .director import (
     ROLE_DELTA,
     ROLE_MASTER_SIGMA,
     ROLE_SIGMA,
+    HeartbeatConfig,
+    HeartbeatMonitor,
     NodeRole,
     Topology,
     assign_roles,
     default_groups,
+    rebuild_topology,
+    rehierarchy_seconds,
 )
 from .events import EventLoop, Resource
-from .network import Network, NetworkConfig, Nic
+from .network import Network, NetworkConfig, Nic, RetryPolicy
+from .recovery import (
+    SCENARIOS,
+    ChaosResult,
+    FaultToleranceConfig,
+    RecoveryEvent,
+    chaos_train,
+    scenario_timeline,
+)
 from .threads import CircularBuffer, PoolConfig, SigmaPipeline, WorkerPool
 from .trainer import DistributedTrainer, TrainingResult
 
 __all__ = [
+    "ChaosResult",
     "Checkpoint",
     "checkpoint_trainer",
     "restore_trainer",
+    "chaos_train",
     "CircularBuffer",
+    "FaultTimeline",
+    "FaultToleranceConfig",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "NodeCrash",
+    "Partition",
+    "QuorumConfig",
+    "RecoveryEvent",
+    "RetryPolicy",
+    "SCENARIOS",
+    "rebuild_topology",
+    "rehierarchy_seconds",
+    "scenario_timeline",
     "StaleTrainingResult",
     "async_batch_seconds",
     "stale_train",

@@ -37,6 +37,41 @@ class ClusterSpec:
     management_overhead_s: float = 0.4e-3
 
 
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Graceful degradation: aggregate K-of-N partials after a deadline.
+
+    A Sigma normally blocks until every partial arrives (Eq. 3b is a
+    barrier). In quorum mode it closes the aggregation window at the
+    later of (a) the K-th partial landing, where K is ``fraction`` of the
+    expected contributors, and (b) ``deadline_s`` past the first partial.
+    Partials later than the window are *dropped*: the receiver refuses
+    them, so they neither enter the aggregate nor occupy the Sigma's NIC
+    (the broadcast does not queue behind a straggler's late bytes), and
+    the functional trainer excludes the corresponding shards so the
+    convergence impact is real.
+    """
+
+    fraction: float = 0.75
+    deadline_s: float = 50e-3
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"quorum fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.deadline_s <= 0:
+            raise ValueError(
+                f"straggler deadline must be positive, got {self.deadline_s}"
+            )
+
+    def quorum(self, contributors: int) -> int:
+        """Minimum partials that must be folded out of ``contributors``."""
+        import math
+
+        return max(1, math.ceil(self.fraction * contributors))
+
+
 @dataclass
 class IterationTiming:
     """Wall-clock breakdown of one mini-batch iteration."""
@@ -53,6 +88,10 @@ class IterationTiming:
     wire_messages: int = 0
     sigma_rx_busy_s: float = 0.0
     sigma_count: int = 1
+    #: quorum accounting: node ids whose partials entered the aggregate,
+    #: and those dropped at a deadline (empty means everyone contributed)
+    contributors: List[int] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
 
     def sigma_rx_utilization(self) -> float:
         """Mean busy fraction of the Sigma NICs' receive sides — the
@@ -85,6 +124,7 @@ class ClusterSimulator:
         spec: ClusterSpec,
         compute_seconds: ComputeFn,
         update_bytes: int,
+        topology: Optional[Topology] = None,
     ):
         """
         Args:
@@ -92,20 +132,42 @@ class ClusterSimulator:
             compute_seconds: accelerator model for a node's local batch.
             update_bytes: size of one partial model update on the wire
                 (the model size — Table 1's "Model Size" column).
+            topology: explicit role assignment — the recovery layer passes
+                a re-formed hierarchy over surviving node ids here;
+                defaults to the Director's assignment for ``spec``.
         """
         if update_bytes <= 0:
             raise ValueError("model update must have positive size")
         self.spec = spec
-        self.topology: Topology = assign_roles(spec.nodes, spec.groups)
+        self.topology: Topology = (
+            topology
+            if topology is not None
+            else assign_roles(spec.nodes, spec.groups)
+        )
         self._compute_seconds = compute_seconds
         self.update_bytes = update_bytes
 
-    def iteration(self, batch_samples: int) -> IterationTiming:
-        """Simulate one global mini-batch of ``batch_samples`` vectors."""
+    def with_topology(self, topology: Topology) -> "ClusterSimulator":
+        """The same cluster model over a re-formed hierarchy."""
+        return ClusterSimulator(
+            self.spec, self._compute_seconds, self.update_bytes, topology
+        )
+
+    def iteration(
+        self,
+        batch_samples: int,
+        quorum: Optional[QuorumConfig] = None,
+    ) -> IterationTiming:
+        """Simulate one global mini-batch of ``batch_samples`` vectors.
+
+        With ``quorum`` set, each Sigma (and the master) closes its
+        aggregation window per :class:`QuorumConfig` instead of blocking
+        on the slowest partial; the timing's ``dropped`` field lists the
+        node ids whose partials missed the window.
+        """
         spec = self.spec
         topo = self.topology
-        loop = EventLoop()
-        network = Network(loop, spec.network)
+        network = Network(EventLoop(), spec.network)
 
         per_node = max(1, batch_samples // topo.nodes)
         compute_done: Dict[int, float] = {}
@@ -115,54 +177,143 @@ class ClusterSimulator:
             compute_times.append(seconds)
             compute_done[role.node_id] = spec.management_overhead_s + seconds
 
-        pipelines: Dict[int, SigmaPipeline] = {
-            s.node_id: SigmaPipeline(spec.pools) for s in topo.sigmas()
-        }
-        group_done: Dict[int, float] = {}
+        first_send = min(compute_done.values())
+        master = topo.master
 
         # Phase 2: deltas stream partial updates to their group sigma.
-        first_send = min(compute_done.values())
-        for sigma in topo.sigmas():
-            pipeline = pipelines[sigma.node_id]
-            # The sigma folds its own accelerator's partial locally.
-            own_done = pipeline.fold_local(
-                compute_done[sigma.node_id], self.update_bytes
-            )
-            group_done[sigma.group] = own_done
-            for delta in topo.deltas_of(sigma.node_id):
-                network.send(
-                    delta.node_id,
-                    sigma.node_id,
-                    self.update_bytes,
-                    compute_done[delta.node_id],
-                    on_chunk=_feed(pipeline),
+        # Sends are issued in start-time order: NIC Resources book FCFS in
+        # call order, so a straggler issued early must not queue ahead of
+        # messages that hit the wire before it.
+        def deltas_to_sigmas(net: Network, skip):
+            loop = EventLoop()
+            net.use_loop(loop)
+            pipes: Dict[int, SigmaPipeline] = {
+                s.node_id: SigmaPipeline(spec.pools) for s in topo.sigmas()
+            }
+            own: Dict[int, float] = {}
+            feeds: Dict[int, Dict[int, _Feeder]] = {}
+            sends = []
+            for sigma in topo.sigmas():
+                pipeline = pipes[sigma.node_id]
+                # The sigma folds its own accelerator's partial locally.
+                own[sigma.group] = pipeline.fold_local(
+                    compute_done[sigma.node_id], self.update_bytes
                 )
-        loop.run()
-        for sigma in topo.sigmas():
-            group_done[sigma.group] = max(
-                group_done[sigma.group], pipelines[sigma.node_id].drained_at
-            )
+                feeds[sigma.node_id] = {}
+                for delta in topo.deltas_of(sigma.node_id):
+                    if delta.node_id in skip:
+                        continue
+                    feeder = _Feeder(pipeline)
+                    feeds[sigma.node_id][delta.node_id] = feeder
+                    sends.append(
+                        (
+                            compute_done[delta.node_id],
+                            delta.node_id,
+                            sigma.node_id,
+                            feeder,
+                        )
+                    )
+            for start, delta_id, sigma_id, feeder in sorted(
+                sends, key=lambda s: s[:2]
+            ):
+                net.send(
+                    delta_id, sigma_id, self.update_bytes, start, on_chunk=feeder
+                )
+            loop.run()
+            return pipes, own, feeds
 
-        # Phase 3: group aggregates -> master sigma.
-        master = topo.master
-        master_pipe = SigmaPipeline(spec.pools)
-        master_done = master_pipe.fold_local(
-            group_done[master.group], self.update_bytes
-        )
-        for sigma in topo.sigmas():
-            if sigma.node_id == master.node_id:
-                continue
-            network.send(
-                sigma.node_id,
-                master.node_id,
-                self.update_bytes,
-                group_done[sigma.group],
-                on_chunk=_feed(master_pipe),
+        def close_groups(own, feeds):
+            done: Dict[int, float] = {}
+            members: Dict[int, List[int]] = {}
+            late = set()
+            for sigma in topo.sigmas():
+                contributions = [(sigma.node_id, own[sigma.group])] + [
+                    (delta_id, feeder.done)
+                    for delta_id, feeder in feeds[sigma.node_id].items()
+                ]
+                included, out = _close_window(contributions, quorum)
+                done[sigma.group] = max(t for _, t in included)
+                members[sigma.group] = [node for node, _ in included]
+                late.update(node for node, _ in out)
+            return done, members, late
+
+        # A dropped partial must not occupy the sigma's NIC — the receiver
+        # refuses it, and everything after (the broadcast, the next
+        # iteration) would otherwise queue behind bytes nobody wants. NIC
+        # Resources cannot book out of order, so quorum mode first probes
+        # a scratch network to learn who misses the window, then replays
+        # on the real one with those sends withheld.
+        skip2 = frozenset()
+        if quorum is not None:
+            _, own_probe, feeds_probe = deltas_to_sigmas(
+                Network(EventLoop(), spec.network), skip2
             )
-        loop.run()
-        master_done = max(master_done, master_pipe.drained_at)
+            _, _, late2 = close_groups(own_probe, feeds_probe)
+            skip2 = frozenset(late2)
+        pipelines, group_own, feeders = deltas_to_sigmas(network, skip2)
+        group_done, group_members, _ = close_groups(group_own, feeders)
+
+        # Phase 3: group aggregates -> master sigma (same quorum rule).
+        # Fresh loop per pass: a quorum window may close before another
+        # group's straggler chunks landed, so this phase's deliveries can
+        # predate the previous loop's final event time.
+        def sigmas_to_master(net: Network, skip):
+            loop = EventLoop()
+            net.use_loop(loop)
+            pipe = SigmaPipeline(spec.pools)
+            own = pipe.fold_local(group_done[master.group], self.update_bytes)
+            feeds: Dict[int, _Feeder] = {}
+            sends = []
+            for sigma in topo.sigmas():
+                if sigma.node_id == master.node_id or sigma.node_id in skip:
+                    continue
+                feeder = _Feeder(pipe)
+                feeds[sigma.node_id] = feeder
+                sends.append((group_done[sigma.group], sigma.node_id, feeder))
+            for start, sigma_id, feeder in sorted(sends, key=lambda s: s[:2]):
+                net.send(
+                    sigma_id,
+                    master.node_id,
+                    self.update_bytes,
+                    start,
+                    on_chunk=feeder,
+                )
+            loop.run()
+            return pipe, own, feeds
+
+        def close_master(own, feeds):
+            contributions = [(master.node_id, own)] + [
+                (sigma_id, feeder.done) for sigma_id, feeder in feeds.items()
+            ]
+            return _close_window(contributions, quorum)
+
+        skip3 = frozenset()
+        if quorum is not None:
+            # The probe replays phase 2 first so the master's RX NIC
+            # carries the same bookings as the real network.
+            probe = Network(EventLoop(), spec.network)
+            deltas_to_sigmas(probe, skip2)
+            _, own_probe, feeds_probe = sigmas_to_master(probe, skip3)
+            _, out3 = close_master(own_probe, feeds_probe)
+            skip3 = frozenset(node for node, _ in out3)
+        master_pipe, own_group_done, master_feeders = sigmas_to_master(
+            network, skip3
+        )
+        sigma_group = {s.node_id: s.group for s in topo.sigmas()}
+        included_groups, _ = close_master(own_group_done, master_feeders)
+        master_done = max(t for _, t in included_groups)
+        contributors = sorted(
+            node
+            for sigma_id, _ in included_groups
+            for node in group_members[sigma_group[sigma_id]]
+        )
+        dropped = sorted(
+            r.node_id for r in topo.roles if r.node_id not in contributors
+        )
 
         # Phase 4: hierarchical model broadcast.
+        loop = EventLoop()
+        network.use_loop(loop)
         broadcast_done = master_done
         for sigma in topo.sigmas():
             sigma_recv = master_done
@@ -203,6 +354,8 @@ class ClusterSimulator:
             wire_messages=network.messages_sent,
             sigma_rx_busy_s=sigma_rx_busy,
             sigma_count=len(topo.sigmas()),
+            contributors=contributors,
+            dropped=dropped,
         )
 
     def epoch_seconds(
@@ -224,5 +377,31 @@ class ClusterSimulator:
         return seconds
 
 
-def _feed(pipeline: SigmaPipeline):
-    return lambda time, nbytes: pipeline.on_chunk(time, nbytes)
+class _Feeder:
+    """Feeds one sender's chunks into a SigmaPipeline, tracking when the
+    last of them was folded — the sender's partial-complete time, which
+    the quorum window is judged against."""
+
+    def __init__(self, pipeline: SigmaPipeline):
+        self._pipeline = pipeline
+        self.done = 0.0
+
+    def __call__(self, time: float, nbytes: int):
+        self.done = max(self.done, self._pipeline.on_chunk(time, nbytes))
+
+
+def _close_window(contributions, quorum: Optional[QuorumConfig]):
+    """Split ``(node_id, finish_s)`` contributions at the quorum window.
+
+    The window closes at the later of the K-th arrival (the quorum must
+    be met even if it means waiting past the deadline) and the straggler
+    deadline measured from the first arrival. Returns (included, dropped).
+    """
+    if quorum is None or len(contributions) <= 1:
+        return list(contributions), []
+    by_time = sorted(contributions, key=lambda c: (c[1], c[0]))
+    k = quorum.quorum(len(by_time))
+    close = max(by_time[k - 1][1], by_time[0][1] + quorum.deadline_s)
+    included = [c for c in by_time if c[1] <= close + 1e-12]
+    dropped = [c for c in by_time if c[1] > close + 1e-12]
+    return included, dropped

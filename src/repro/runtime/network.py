@@ -37,6 +37,45 @@ class NetworkConfig:
         return nbytes * 8.0 / self.bandwidth_bps
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-message timeout with exponential backoff.
+
+    A sender whose peer stops acknowledging waits ``timeout_s``, then
+    retries with the timeout scaled by ``backoff`` each attempt, up to
+    ``max_retries`` retries before declaring the peer unreachable — the
+    point at which the Director's failure handling takes over.
+    """
+
+    timeout_s: float = 0.25
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError(
+                f"per-message timeout must be positive, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff < 1.0:
+            raise ValueError(
+                f"backoff factor must be >= 1 (got {self.backoff}); a "
+                f"shrinking backoff would hammer a struggling peer"
+            )
+
+    def attempt_timeouts(self) -> list:
+        """Timeout of each attempt: initial send plus every retry."""
+        return [
+            self.timeout_s * self.backoff**i
+            for i in range(self.max_retries + 1)
+        ]
+
+    def give_up_after_s(self) -> float:
+        """Wall-clock a sender burns before declaring the peer dead."""
+        return sum(self.attempt_timeouts())
+
+
 class Nic:
     """Full-duplex endpoint: independent TX and RX serialisation."""
 
@@ -55,11 +94,22 @@ class Network:
         self._nics: Dict[int, Nic] = {}
         self.bytes_sent = 0
         self.messages_sent = 0
+        self.retries = 0
+        self.messages_failed = 0
 
     def nic(self, node_id: int) -> Nic:
         if node_id not in self._nics:
             self._nics[node_id] = Nic(node_id)
         return self._nics[node_id]
+
+    def use_loop(self, loop: EventLoop):
+        """Rebind callback dispatch to a fresh loop at a phase boundary.
+
+        NIC bookings are absolute-time, so they carry across loops; a new
+        loop lets a later phase schedule deliveries earlier than the
+        previous phase's stragglers (e.g. a quorum window that closed
+        while a dropped partial was still in flight)."""
+        self._loop = loop
 
     def send(
         self,
@@ -104,6 +154,35 @@ class Network:
         if on_done is not None:
             self._loop.at(last_arrival, _bind_done(on_done, last_arrival))
         return last_arrival
+
+    def send_reliable(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        start: float,
+        reachable: Callable[[float], bool],
+        policy: RetryPolicy = RetryPolicy(),
+        on_chunk: Optional[Callable[[float, int], None]] = None,
+        on_done: Optional[Callable[[float], None]] = None,
+    ) -> Optional[float]:
+        """``send`` with per-message timeout and exponential backoff.
+
+        ``reachable(time)`` answers whether ``dst`` acknowledges at that
+        instant (crashed/partitioned peers do not). Each failed attempt
+        burns its timeout before the next try; after exhausting the retry
+        budget the message is abandoned and ``None`` is returned — the
+        total time burned is ``policy.give_up_after_s()``, which the
+        recovery layer accounts against the failover clock.
+        """
+        cursor = start
+        for attempt_timeout in policy.attempt_timeouts():
+            if reachable(cursor):
+                return self.send(src, dst, nbytes, cursor, on_chunk, on_done)
+            cursor += attempt_timeout
+            self.retries += 1
+        self.messages_failed += 1
+        return None
 
 
 def _bind_chunk(fn: Callable[[float, int], None], time: float, size: int):

@@ -20,13 +20,15 @@ Two worker modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
 from ..dfg import ir
 from ..dfg.interpreter import Interpreter
 from ..dfg.translate import Translation
+from .checkpoint import Checkpoint
 from .cluster import ClusterSimulator, IterationTiming
 
 Feeds = Dict[str, np.ndarray]
@@ -91,6 +93,11 @@ class DistributedTrainer:
         mode: str = "minibatch",
         model: Optional[Dict[str, np.ndarray]] = None,
         learning_rate: Optional[float] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        on_checkpoint: Optional[Callable[[Checkpoint], None]] = None,
+        resume_from: Optional[Checkpoint] = None,
+        max_iterations: Optional[int] = None,
     ) -> TrainingResult:
         """Run distributed training over ``feeds``.
 
@@ -104,9 +111,25 @@ class DistributedTrainer:
             mode: ``"minibatch"`` or ``"local_sgd"``.
             model: starting parameters (default: zeros).
             learning_rate: overrides the DSL ``mu``.
+            checkpoint_every: auto-checkpoint every N iterations. The
+                snapshot carries the RNG state *as of the epoch start*,
+                so a restore replays the epoch's shuffle and continues
+                bit-identically mid-epoch.
+            checkpoint_dir: directory for auto-checkpoints
+                (``ckpt_<iterations>.npz``); created if missing.
+            on_checkpoint: callback fired with each auto-checkpoint.
+            resume_from: continue a run from an auto-checkpoint: the
+                model, loss history, iteration counter, and shuffle all
+                pick up exactly where the snapshot was taken. ``epochs``
+                still counts total epochs from the beginning.
+            max_iterations: stop after this many *total* iterations —
+                the fault tests use it to cut a run mid-epoch the way a
+                crash would.
         """
         if mode not in ("minibatch", "local_sgd"):
             raise ValueError(f"unknown mode {mode!r}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         samples = _sample_count(feeds)
         if minibatch_per_worker is None:
             minibatch_per_worker = max(
@@ -117,22 +140,82 @@ class DistributedTrainer:
             if learning_rate is None
             else learning_rate
         )
-        model = dict(model) if model else self.initial_model()
         global_batch = minibatch_per_worker * self.workers
-        result = TrainingResult(model=model)
+        iters_per_epoch = len(
+            range(0, samples - global_batch + 1, global_batch)
+        )
 
-        for _ in range(epochs):
+        start_epoch = 0
+        skip_in_epoch = 0
+        if resume_from is not None:
+            model = {k: np.array(v) for k, v in resume_from.model.items()}
+            if resume_from.rng_state is not None:
+                self._rng.bit_generator.state = resume_from.rng_state
+            start_epoch = resume_from.epoch
+            skip_in_epoch = (
+                resume_from.iterations - start_epoch * iters_per_epoch
+            )
+            if not 0 <= skip_in_epoch <= iters_per_epoch:
+                raise ValueError(
+                    f"checkpoint at iteration {resume_from.iterations} does "
+                    f"not lie in epoch {resume_from.epoch} for this dataset/"
+                    f"batch shape ({iters_per_epoch} iterations per epoch)"
+                )
+            result = TrainingResult(
+                model=model,
+                loss_history=list(resume_from.loss_history),
+                iterations=resume_from.iterations,
+            )
+        else:
+            model = dict(model) if model else self.initial_model()
+            result = TrainingResult(model=model)
+
+        if checkpoint_dir is not None:
+            checkpoint_dir = Path(checkpoint_dir)
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+
+        stopped = False
+        for epoch in range(start_epoch, epochs):
+            # Captured before the shuffle so a mid-epoch checkpoint can
+            # replay this epoch's permutation identically on restore.
+            epoch_rng_state = self._rng.bit_generator.state
             order = self._rng.permutation(samples)
-            for start in range(0, samples - global_batch + 1, global_batch):
+            starts = range(0, samples - global_batch + 1, global_batch)
+            for in_epoch, start in enumerate(starts):
+                if epoch == start_epoch and in_epoch < skip_in_epoch:
+                    continue
                 batch_idx = order[start : start + global_batch]
                 shards = np.array_split(batch_idx, self.workers)
-                if mode == "minibatch":
-                    self._step_minibatch(model, feeds, shards, mu)
-                else:
-                    self._step_local_sgd(model, feeds, shards, mu)
+                self.step(model, feeds, shards, mu, mode=mode)
                 result.iterations += 1
                 if loss_fn is not None:
                     result.loss_history.append(loss_fn(model, feeds))
+                if (
+                    checkpoint_every is not None
+                    and result.iterations % checkpoint_every == 0
+                ):
+                    ckpt = Checkpoint(
+                        model={k: np.array(v) for k, v in model.items()},
+                        iterations=result.iterations,
+                        epoch=epoch,
+                        loss_history=list(result.loss_history),
+                        rng_state=epoch_rng_state,
+                    )
+                    if checkpoint_dir is not None:
+                        ckpt.save(
+                            checkpoint_dir
+                            / f"ckpt_{result.iterations:06d}.npz"
+                        )
+                    if on_checkpoint is not None:
+                        on_checkpoint(ckpt)
+                if (
+                    max_iterations is not None
+                    and result.iterations >= max_iterations
+                ):
+                    stopped = True
+                    break
+            if stopped:
+                break
 
         if self._cluster is not None and result.iterations:
             timing = self._cluster.iteration(global_batch)
@@ -140,6 +223,39 @@ class DistributedTrainer:
             result.simulated_seconds = timing.total_s * result.iterations
         result.model = model
         return result
+
+    def step(
+        self,
+        model: Dict[str, np.ndarray],
+        feeds: Feeds,
+        shards: List[np.ndarray],
+        mu: float,
+        mode: str = "minibatch",
+        drop: Iterable[int] = (),
+    ) -> bool:
+        """One synchronous iteration over explicit sample-index shards.
+
+        ``drop`` names shard indices whose partials never reached the
+        aggregate — quorum-dropped stragglers or crashed workers. The
+        aggregation runs over the survivors only, so degraded-mode
+        convergence effects are real rather than modelled. Returns False
+        (model untouched) when every shard was dropped or empty.
+        """
+        dropped = set(drop)
+        survivors = [
+            shard
+            for index, shard in enumerate(shards)
+            if index not in dropped and len(shard)
+        ]
+        if not survivors:
+            return False
+        if mode == "minibatch":
+            self._step_minibatch(model, feeds, survivors, mu)
+        elif mode == "local_sgd":
+            self._step_local_sgd(model, feeds, survivors, mu)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        return True
 
     # -- worker semantics ---------------------------------------------------
     def _step_minibatch(

@@ -179,3 +179,73 @@ class TestTrainingProperties:
         timing = sim.iteration(nodes * 100)
         assert 0 < timing.total_s < 10
         assert timing.compute_s <= timing.total_s
+
+
+class TestChaosProperties:
+    """Any fault timeline that leaves survivors must terminate (no
+    barrier deadlock) and must replay bit-identically under a fixed
+    seed — the fault machinery is deterministic pure data."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.1, max_value=0.8),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_surviving_timelines_terminate_deterministically(
+        self, seed, crash_probability, recover_fraction
+    ):
+        from repro.runtime import (
+            FaultTimeline,
+            FaultToleranceConfig,
+            HeartbeatConfig,
+            RetryPolicy,
+            chaos_train,
+        )
+
+        nodes = 6
+        spec = ClusterSpec(nodes=nodes, groups=2)
+        rng = np.random.default_rng(3)
+        n, N = 4, 128
+        w = rng.normal(size=n)
+        X = rng.normal(size=(N, n))
+        translation = translate(parse("mu = 0.05;" + LINREG), {"n": n})
+        compute = lambda nid, s: 2e-3
+        it_s = ClusterSimulator(spec, compute, 10_000).iteration(24).total_s
+        # The master (node 0) is spared, so survivors always exist.
+        timeline = FaultTimeline.random(
+            nodes,
+            horizon_s=8 * it_s,
+            crash_probability=crash_probability,
+            recover_fraction=recover_fraction,
+            seed=seed,
+        )
+        config = FaultToleranceConfig(
+            heartbeat=HeartbeatConfig(period_s=it_s / 2, timeout_s=2 * it_s),
+            retry=RetryPolicy(timeout_s=it_s / 2, max_retries=1),
+            checkpoint_every=3,
+        )
+
+        def run():
+            return chaos_train(
+                translation,
+                {"x": X, "y": X @ w},
+                spec,
+                compute,
+                10_000,
+                timeline=timeline,
+                config=config,
+                epochs=2,
+                minibatch_per_worker=4,
+                seed=7,
+            )
+
+        a = run()  # terminating at all is the headline property
+        b = run()
+        assert a.iterations == 2 * (N // (4 * nodes))
+        assert np.isfinite(a.simulated_seconds)
+        assert a.simulated_seconds == b.simulated_seconds
+        assert [(e.kind, e.nodes) for e in a.events] == [
+            (e.kind, e.nodes) for e in b.events
+        ]
+        np.testing.assert_array_equal(a.model["w"], b.model["w"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import EventLoop, Network, NetworkConfig
+from repro.runtime import EventLoop, Network, NetworkConfig, RetryPolicy
 
 
 def make(bandwidth=1e9, chunk=64 * 1024):
@@ -111,3 +111,66 @@ class TestAccounting:
         _, net = make()
         with pytest.raises(ValueError):
             net.send(0, 1, 0, 0.0)
+
+
+class TestRetryPolicy:
+    def test_attempt_schedule(self):
+        policy = RetryPolicy(timeout_s=0.1, max_retries=2, backoff=2.0)
+        assert policy.attempt_timeouts() == pytest.approx([0.1, 0.2, 0.4])
+        assert policy.give_up_after_s() == pytest.approx(0.7)
+
+    def test_no_retries_is_one_attempt(self):
+        policy = RetryPolicy(timeout_s=0.3, max_retries=0)
+        assert policy.attempt_timeouts() == [0.3]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"max_retries": -1},
+            {"backoff": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestSendReliable:
+    def test_reachable_peer_sends_immediately(self):
+        loop, net = make()
+        plain = net.send(0, 1, 10_000, start=0.0)
+        _, net2 = make()
+        reliable = net2.send_reliable(
+            0, 1, 10_000, start=0.0, reachable=lambda t: True
+        )
+        assert reliable == plain
+        assert net2.retries == 0
+        assert net2.messages_failed == 0
+
+    def test_backoff_until_peer_returns(self):
+        loop, net = make()
+        policy = RetryPolicy(timeout_s=0.1, max_retries=3, backoff=2.0)
+        # Peer comes back at t=0.25: attempts at 0, 0.1, 0.3 succeed on
+        # the third try, after two timeouts (0.1 + 0.2) of backoff.
+        done = net.send_reliable(
+            0, 1, 10_000, start=0.0,
+            reachable=lambda t: t >= 0.25, policy=policy,
+        )
+        assert done is not None
+        assert done > 0.3
+        assert net.retries == 2
+        assert net.messages_failed == 0
+
+    def test_gives_up_on_dead_peer(self):
+        loop, net = make()
+        policy = RetryPolicy(timeout_s=0.1, max_retries=2, backoff=2.0)
+        done = net.send_reliable(
+            0, 1, 10_000, start=0.0,
+            reachable=lambda t: False, policy=policy,
+        )
+        assert done is None
+        assert net.retries == 3  # every attempt burned its timeout
+        assert net.messages_failed == 1
+        assert net.messages_sent == 0  # nothing ever hit the wire

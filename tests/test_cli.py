@@ -89,6 +89,35 @@ class TestTrainCommand:
         assert "movielens" in capsys.readouterr().out
 
 
+class TestChaosCommand:
+    def test_master_crash_recovers(self, capsys):
+        code = main([
+            "chaos", "stock", "--scenario", "master-crash",
+            "--epochs", "2", "--samples", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "master-crash" in out
+        assert "new_master=" in out
+        assert "time to recovery:" in out
+        assert "throughput kept:" in out
+
+    def test_healthy_scenario_has_no_faults(self, capsys):
+        code = main([
+            "chaos", "stock", "--scenario", "healthy",
+            "--epochs", "1", "--samples", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(no faults injected)" in out
+        assert "time to recovery:   0.0000s" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "stock", "--scenario", "alien-invasion"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestModuleEntry:
     def test_python_dash_m(self):
         import subprocess

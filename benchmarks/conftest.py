@@ -10,13 +10,22 @@ import pytest
 
 
 @pytest.fixture
-def regen(benchmark):
-    """Run a harness function under pytest-benchmark and print its table."""
+def regen(benchmark, request):
+    """Run a harness function under pytest-benchmark and print its table.
+
+    Under ``--benchmark-disable`` the figure benches act as plain smoke
+    tests: one round, no timing — kept fast so the functional CI lane
+    can include them without paying for repeat regenerations.
+    """
+    disabled = request.config.getoption("benchmark_disable", default=False)
 
     def _run(fn, *args, rounds=2, **kwargs):
-        result = benchmark.pedantic(
-            fn, args=args, kwargs=kwargs, rounds=rounds, iterations=1
-        )
+        if disabled:
+            result = fn(*args, **kwargs)
+        else:
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=rounds, iterations=1
+            )
         print()
         print(result.to_table())
         return result

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..baselines import SparkModel, TablaModel, cosmic_vs_tabla_speedup
-from ..core.system import CosmicSystem, NodePlatform, platform_for
+from ..baselines import SparkModel, cosmic_vs_tabla_speedup
+from ..core.system import CosmicSystem, platform_for
 from ..hw.spec import XILINX_VU9P
 from ..ml.benchmarks import BENCHMARKS, Benchmark, benchmark
+from ..perf.parallel import default_executor
 from ..planner import Planner
 from .results import ExperimentResult, geomean
 
@@ -29,9 +30,21 @@ def _benches(names: Optional[Iterable[str]] = None) -> List[Benchmark]:
     return [benchmark(n) for n in names]
 
 
-def _epoch(bench: Benchmark, platform: NodePlatform, nodes: int,
-           minibatch: int = 10_000) -> float:
-    return CosmicSystem(bench, platform, nodes).epoch_seconds(minibatch)
+def _per_bench(names: Optional[Iterable[str]], point_fn) -> List:
+    """Evaluate ``point_fn`` for every benchmark, fanned out over the
+    default sweep executor; results keep benchmark order, so parallel and
+    serial runs build identical tables."""
+    return default_executor().map(point_fn, _benches(names))
+
+
+def _system(bench: Benchmark, kind: str, nodes: int,
+            ingest_cap: bool = True) -> CosmicSystem:
+    """One reusable system per (bench, platform): the platform (and the
+    Planner run behind it) is derived once; node counts and mini-batch
+    sizes vary per call afterwards."""
+    return CosmicSystem(
+        bench, platform_for(bench, kind, ingest_cap=ingest_cap), nodes
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -137,12 +150,17 @@ def table3() -> ExperimentResult:
 def _epoch_grid(
     names: Optional[Iterable[str]], nodes: Sequence[int]
 ) -> Tuple[Dict[str, Dict[int, float]], Dict[str, Dict[int, float]]]:
+    def point(b: Benchmark):
+        spark_b = {n: SparkModel(n).epoch_seconds(b) for n in nodes}
+        system = _system(b, "fpga", nodes[0])
+        cosmic_b = {n: system.epoch_seconds(nodes=n) for n in nodes}
+        return b.name, spark_b, cosmic_b
+
     spark: Dict[str, Dict[int, float]] = {}
     cosmic: Dict[str, Dict[int, float]] = {}
-    for b in _benches(names):
-        spark[b.name] = {n: SparkModel(n).epoch_seconds(b) for n in nodes}
-        platform = platform_for(b, "fpga")
-        cosmic[b.name] = {n: _epoch(b, platform, n) for n in nodes}
+    for name, spark_b, cosmic_b in _per_bench(names, point):
+        spark[name] = spark_b
+        cosmic[name] = cosmic_b
     return spark, cosmic
 
 
@@ -244,17 +262,20 @@ def figure9(
             "geomean_gpu_x": 1.5,
         },
     )
-    for b in _benches(names):
+    def point(b: Benchmark):
         epochs = {
-            kind: _epoch(b, platform_for(b, kind), nodes)
+            kind: _system(b, kind, nodes).epoch_seconds()
             for kind in PLATFORMS
         }
-        result.add_row(
-            name=b.name,
-            pasic_f_x=epochs["fpga"] / epochs["pasic-f"],
-            pasic_g_x=epochs["fpga"] / epochs["pasic-g"],
-            gpu_x=epochs["fpga"] / epochs["gpu"],
-        )
+        return {
+            "name": b.name,
+            "pasic_f_x": epochs["fpga"] / epochs["pasic-f"],
+            "pasic_g_x": epochs["fpga"] / epochs["pasic-g"],
+            "gpu_x": epochs["fpga"] / epochs["gpu"],
+        }
+
+    for row in _per_bench(names, point):
+        result.add_row(**row)
     for col in ("pasic_f_x", "pasic_g_x", "gpu_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
     return result
@@ -276,7 +297,7 @@ def figure10(
             "acoustic_gpu_x": 12.8,
         },
     )
-    for b in _benches(names):
+    def point(b: Benchmark):
         # Computation-only: each chip streams from its own off-chip
         # memory at full rate (no host/PCIe ceiling — that belongs to
         # the system-level Figure 9).
@@ -286,15 +307,17 @@ def figure10(
             )
             for kind in PLATFORMS
         }
-        row = {
+        return {
             "name": b.name,
             "pasic_f_x": times["fpga"] / times["pasic-f"],
             "pasic_g_x": times["fpga"] / times["pasic-g"],
             "gpu_x": times["fpga"] / times["gpu"],
         }
+
+    for row in _per_bench(names, point):
         result.add_row(**row)
-        if b.name in ("mnist", "acoustic"):
-            result.summary[f"{b.name}_gpu_x"] = row["gpu_x"]
+        if row["name"] in ("mnist", "acoustic"):
+            result.summary[f"{row['name']}_gpu_x"] = row["gpu_x"]
     for col in ("pasic_f_x", "pasic_g_x", "gpu_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
     return result
@@ -314,20 +337,22 @@ def figure11(
             "geomean_pasic_g_x": 8.2,
         },
     )
-    for b in _benches(names):
-        platforms = {kind: platform_for(b, kind) for kind in PLATFORMS}
+    def point(b: Benchmark):
         perf_per_watt = {}
-        for kind, platform in platforms.items():
-            epoch = _epoch(b, platform, nodes)
-            watts = nodes * platform.node_power_watts()
-            perf_per_watt[kind] = 1.0 / (epoch * watts)
+        for kind in PLATFORMS:
+            system = _system(b, kind, nodes)
+            epoch = system.epoch_seconds()
+            perf_per_watt[kind] = 1.0 / (epoch * system.system_power_watts())
         gpu = perf_per_watt["gpu"]
-        result.add_row(
-            name=b.name,
-            fpga_x=perf_per_watt["fpga"] / gpu,
-            pasic_f_x=perf_per_watt["pasic-f"] / gpu,
-            pasic_g_x=perf_per_watt["pasic-g"] / gpu,
-        )
+        return {
+            "name": b.name,
+            "fpga_x": perf_per_watt["fpga"] / gpu,
+            "pasic_f_x": perf_per_watt["pasic-f"] / gpu,
+            "pasic_g_x": perf_per_watt["pasic-g"] / gpu,
+        }
+
+    for row in _per_bench(names, point):
+        result.add_row(**row)
     for col in ("fpga_x", "pasic_f_x", "pasic_g_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
     return result
@@ -353,14 +378,17 @@ def figure12(
         + [f"cosmic_b{b}" for b in minibatches],
         paper={"geomean_gap_b500": 16.8, "geomean_gap_b100000": 9.1},
     )
-    for b in _benches(names):
+    def point(b: Benchmark):
         spark = SparkModel(nodes)
         base = spark.epoch_seconds(b, 10_000)
-        platform = platform_for(b, "fpga")
+        system = _system(b, "fpga", nodes)
         row = {"name": b.name}
         for mb in minibatches:
             row[f"spark_b{mb}"] = base / spark.epoch_seconds(b, mb)
-            row[f"cosmic_b{mb}"] = base / _epoch(b, platform, nodes, mb)
+            row[f"cosmic_b{mb}"] = base / system.epoch_seconds(mb)
+        return row
+
+    for row in _per_bench(names, point):
         result.add_row(**row)
     for mb in (minibatches[0], minibatches[-1]):
         gaps = [
@@ -383,12 +411,15 @@ def figure13(
         ["name"] + [f"compute_frac_b{b}" for b in minibatches],
         paper={"mean_frac_b500": 0.12, "mean_frac_b100000": 0.95},
     )
-    for b in _benches(names):
-        system = CosmicSystem(b, platform_for(b, "fpga"), nodes)
+    def point(b: Benchmark):
+        system = _system(b, "fpga", nodes)
         row = {"name": b.name}
         for mb in minibatches:
             timing = system.iteration(mb)
             row[f"compute_frac_b{mb}"] = timing.compute_fraction
+        return row
+
+    for row in _per_bench(names, point):
         result.add_row(**row)
     for mb in (minibatches[0], minibatches[-1]):
         col = result.column(f"compute_frac_b{mb}")
@@ -407,16 +438,19 @@ def figure14(
         ["name", "fpga_x", "syssw_x"],
         paper={"geomean_fpga_x": 20.7, "geomean_syssw_x": 28.4},
     )
-    for b in _benches(names):
+    def point(b: Benchmark):
         spark = SparkModel(nodes).iteration(b, 10_000 * nodes)
-        system = CosmicSystem(b, platform_for(b, "fpga"), nodes)
-        timing = system.iteration(10_000)
+        timing = _system(b, "fpga", nodes).iteration(10_000)
         fpga_x = spark.compute_s / timing.compute_s
         spark_rest = spark.total_s - spark.compute_s
         cosmic_rest = max(1e-9, timing.total_s - timing.compute_s)
-        result.add_row(
-            name=b.name, fpga_x=fpga_x, syssw_x=spark_rest / cosmic_rest
-        )
+        return {
+            "name": b.name, "fpga_x": fpga_x,
+            "syssw_x": spark_rest / cosmic_rest,
+        }
+
+    for row in _per_bench(names, point):
+        result.add_row(**row)
     result.summary["geomean_fpga_x"] = geomean(result.column("fpga_x"))
     result.summary["geomean_syssw_x"] = geomean(result.column("syssw_x"))
     return result
@@ -441,7 +475,7 @@ def figure15(
         + [f"pe{p}" for p in pe_counts]
         + [f"bw{x}x" for x in bandwidth_x],
     )
-    for b in _benches(names):
+    def point(b: Benchmark):
         dfg = b.translate().dfg
         row = {"name": b.name}
         base = None
@@ -463,6 +497,9 @@ def figure15(
             tput = plan.samples_per_second
             base = base or tput
             row[f"bw{x}x"] = tput / base
+        return row
+
+    for row in _per_bench(names, point):
         result.add_row(**row)
     compute_bound = ("mnist", "acoustic", "movielens", "netflix")
     scale_col = f"pe{pe_counts[-1]}"
@@ -491,20 +528,24 @@ def figure16(
         "Design space exploration, speedup over T1xR1",
         ["name", "point", "speedup"],
     )
-    for b in _benches(names):
-        dfg = b.translate().dfg
-        planner = Planner(XILINX_VU9P)
-        sweep = planner.sweep(dfg, 10_000, b.density)
+    def point(b: Benchmark):
+        planner = Planner(XILINX_VU9P, executor=default_executor())
+        sweep = planner.sweep(b.translate().dfg, 10_000, b.density)
         base = sweep["T1xR1"].seconds_for(10_000)
+        return b.name, {
+            label: base / plan.seconds_for(10_000)
+            for label, plan in sweep.items()
+        }
+
+    for name, speedups in _per_bench(names, point):
         best_label, best_speed = None, 0.0
-        for label, plan in sweep.items():
-            speedup = base / plan.seconds_for(10_000)
-            result.add_row(name=b.name, point=label, speedup=speedup)
+        for label, speedup in speedups.items():
+            result.add_row(name=name, point=label, speedup=speedup)
             if speedup > best_speed:
                 best_label, best_speed = label, speedup
-        result.summary[f"{b.name}_best"] = best_speed
+        result.summary[f"{name}_best"] = best_speed
         result.rows.append(
-            {"name": b.name, "point": f"best={best_label}", "speedup": best_speed}
+            {"name": name, "point": f"best={best_label}", "speedup": best_speed}
         )
     return result
 
@@ -523,11 +564,16 @@ def figure17(names: Optional[Iterable[str]] = None) -> ExperimentResult:
         ["name", "speedup"],
         paper={"geomean_speedup": 3.9},
     )
-    for b in _benches(names):
-        speedup = cosmic_vs_tabla_speedup(
-            b.translate().dfg, density=b.density
-        )
-        result.add_row(name=b.name, speedup=speedup)
+    def point(b: Benchmark):
+        return {
+            "name": b.name,
+            "speedup": cosmic_vs_tabla_speedup(
+                b.translate().dfg, density=b.density
+            ),
+        }
+
+    for row in _per_bench(names, point):
+        result.add_row(**row)
     result.summary["geomean_speedup"] = geomean(result.column("speedup"))
     return result
 

@@ -1,0 +1,301 @@
+"""Perf-regression harness: time the stack, gate against a baseline.
+
+``python -m repro perf`` measures two things and writes them to
+``BENCH_perf.json``:
+
+* **Stage timings** — translate / plan / compile / simulate / epoch per
+  benchmark, each measured with the artifact cache bypassed so the
+  numbers track the *work*, not the cache.
+* **Figure-sweep comparison** — a full Figure 7 + Figure 16 regeneration
+  three ways: the serial uncached reference path, a cold-cache run (the
+  first regeneration in a process), and a warm-cache run (the
+  steady-state the cache exists for: every later regeneration in the
+  process, and — with ``REPRO_CACHE_DIR`` — fresh processes too). The
+  harness asserts all three produce bit-identical
+  :class:`ExperimentResult` rows and records the speedups.
+
+Comparing a run against a committed baseline flags any stage that got
+more than ``tolerance`` times slower (and a warm-sweep speedup that
+collapsed), so CI catches perf regressions the functional suite cannot.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Stages timed per benchmark, in pipeline order.
+STAGES = ("translate", "plan", "compile", "simulate", "epoch")
+
+#: Benchmarks the ``--quick`` CI gate times (small, medium, large model).
+QUICK_BENCHES = ("stock", "movielens", "mnist")
+
+#: Timings below this floor are noise on any machine; the comparator
+#: never flags a stage whose baseline is under it.
+FLOOR_SECONDS = 0.005
+
+#: The warm-cache sweep must stay at least this much faster than the
+#: serial uncached path (the headline acceptance number is recorded in
+#: the payload; the gate uses a CI-safe fraction of it).
+MIN_WARM_SPEEDUP = 3.0
+
+
+@dataclass
+class PerfReport:
+    """One harness run: stage timings + figure-sweep comparison."""
+
+    stages: Dict[str, Dict[str, float]]
+    sweep: Dict[str, float]
+    quick: bool
+    machine: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "format_version": 1,
+            "quick": self.quick,
+            "machine": self.machine,
+            "stages": self.stages,
+            "figure_sweep": self.sweep,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PerfReport":
+        return cls(
+            stages=payload["stages"],
+            sweep=payload["figure_sweep"],
+            quick=payload.get("quick", False),
+            machine=payload.get("machine", {}),
+        )
+
+
+def _timeit(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time — the usual perf-counter practice:
+    the minimum is the least noisy estimator of the true cost."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_stages(
+    names: Optional[Iterable[str]] = None, repeats: int = 2
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark wall time of each toolchain stage, cache bypassed.
+
+    ``translate`` parses + translates the DSL program; ``plan`` runs the
+    full design-space exploration; ``compile`` scalarises, maps, and
+    schedules; ``simulate`` runs the vectorized MIMD timing model over a
+    10k-sample mini-batch; ``epoch`` runs the event-driven cluster
+    simulation for a 16-node epoch.
+    """
+    from ..core.stack import CosmicStack
+    from ..core.system import CosmicSystem, platform_for
+    from ..hw.spec import XILINX_VU9P
+    from ..ml.benchmarks import BENCHMARKS, benchmark
+    from ..perf.cache import cache_disabled
+    from ..planner import Planner
+
+    benches = (
+        list(BENCHMARKS) if names is None else [benchmark(n) for n in names]
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    for bench in benches:
+        translation = bench.translate()
+        plan = Planner(XILINX_VU9P).plan(
+            translation.dfg,
+            10_000,
+            bench.density,
+            stream_words=bench.bytes_per_sample() / XILINX_VU9P.word_bytes,
+        )
+        stack = CosmicStack.from_benchmark(bench)
+        system = CosmicSystem(
+            bench, platform_for(bench, "fpga"), nodes=16
+        )
+        with cache_disabled():
+            timings = {
+                "translate": _timeit(bench.translate, repeats),
+                "plan": _timeit(
+                    lambda: Planner(XILINX_VU9P).plan(
+                        translation.dfg, 10_000, bench.density
+                    ),
+                    repeats,
+                ),
+                "compile": _timeit(
+                    lambda: stack.compile(rows=2, columns=4), repeats
+                ),
+                "simulate": _timeit(
+                    lambda: plan.seconds_for(10_000), repeats
+                ),
+                "epoch": _timeit(lambda: system.epoch_seconds(), repeats),
+            }
+        out[bench.name] = {k: round(v, 6) for k, v in timings.items()}
+    return out
+
+
+def _result_payload(results: Sequence) -> str:
+    """Canonical JSON of every row and summary — the bit-identity probe."""
+    return json.dumps(
+        [(r.experiment, r.rows, r.summary) for r in results],
+        default=str,
+        sort_keys=True,
+    )
+
+
+def measure_figure_sweep(quick: bool = False) -> Dict[str, float]:
+    """Regenerate Figure 7 + Figure 16 on the three paths and compare.
+
+    Raises :class:`AssertionError` if any path's rows diverge from the
+    serial uncached reference — the determinism contract of the cache
+    and the parallel executor.
+    """
+    from ..bench import figures
+    from ..perf.cache import cache_disabled, get_cache
+    from ..perf.parallel import SweepExecutor, set_default_executor
+
+    fig7_names = QUICK_BENCHES if quick else None
+
+    def regenerate():
+        return [figures.figure7(fig7_names), figures.figure16()]
+
+    cache = get_cache()
+    previous = set_default_executor(SweepExecutor("serial"))
+    try:
+        cache.clear()
+        with cache_disabled():
+            start = time.perf_counter()
+            reference = regenerate()
+            serial_uncached_s = time.perf_counter() - start
+
+        set_default_executor(SweepExecutor("auto"))
+        cache.clear()
+        start = time.perf_counter()
+        cold = regenerate()
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = regenerate()
+        warm_s = time.perf_counter() - start
+    finally:
+        set_default_executor(previous)
+
+    expected = _result_payload(reference)
+    if _result_payload(cold) != expected:
+        raise AssertionError("cold-cache rows diverge from serial uncached")
+    if _result_payload(warm) != expected:
+        raise AssertionError("warm-cache rows diverge from serial uncached")
+
+    return {
+        "serial_uncached_s": round(serial_uncached_s, 6),
+        "cold_cache_s": round(cold_s, 6),
+        "warm_cache_s": round(warm_s, 6),
+        "cold_speedup": round(serial_uncached_s / cold_s, 3),
+        "warm_speedup": round(serial_uncached_s / warm_s, 3),
+        "rows_identical": True,
+    }
+
+
+def run_perf(
+    names: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> PerfReport:
+    """The full harness: stage matrix + figure-sweep comparison."""
+    if names is None and quick:
+        names = QUICK_BENCHES
+    if repeats is None:
+        repeats = 1 if quick else 2
+    return PerfReport(
+        stages=measure_stages(names, repeats=repeats),
+        sweep=measure_figure_sweep(quick=quick),
+        quick=quick,
+        machine={
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def write_report(report: PerfReport, path: Path):
+    Path(path).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+
+
+def load_report(path: Path) -> PerfReport:
+    return PerfReport.from_dict(json.loads(Path(path).read_text()))
+
+
+def compare_to_baseline(
+    current: PerfReport, baseline: PerfReport, tolerance: float = 2.0
+) -> List[str]:
+    """Regression messages; empty means the run is within tolerance.
+
+    A stage regresses when it is ``tolerance`` times slower than the
+    baseline *and* the baseline is above the noise floor. The warm-sweep
+    speedup regresses when it falls below half the acceptance threshold
+    (machines differ; collapsing to ~1x means the cache stopped working).
+    """
+    problems: List[str] = []
+    for bench, stages in current.stages.items():
+        base_stages = baseline.stages.get(bench)
+        if base_stages is None:
+            continue
+        for stage, seconds in stages.items():
+            base = base_stages.get(stage)
+            if base is None or base < FLOOR_SECONDS:
+                continue
+            if seconds > base * tolerance:
+                problems.append(
+                    f"{bench}/{stage}: {seconds:.4f}s vs baseline "
+                    f"{base:.4f}s (>{tolerance:g}x)"
+                )
+    warm = current.sweep.get("warm_speedup", 0.0)
+    if warm and warm < MIN_WARM_SPEEDUP / 2:
+        problems.append(
+            f"figure-sweep warm-cache speedup collapsed to {warm:.2f}x "
+            f"(acceptance {MIN_WARM_SPEEDUP:g}x, gate {MIN_WARM_SPEEDUP / 2:g}x)"
+        )
+    if not current.sweep.get("rows_identical", False):
+        problems.append("figure-sweep rows are not identical across paths")
+    return problems
+
+
+def render_report(report: PerfReport) -> str:
+    """Human-readable table of the payload."""
+    lines = ["== perf: toolchain stage timings (seconds, cache bypassed) =="]
+    header = "bench".ljust(12) + "".join(s.rjust(11) for s in STAGES)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench, stages in report.stages.items():
+        lines.append(
+            bench.ljust(12)
+            + "".join(f"{stages.get(s, 0.0):11.4f}" for s in STAGES)
+        )
+    sweep = report.sweep
+    lines.append("")
+    lines.append("== perf: Figure 7 + Figure 16 regeneration ==")
+    lines.append(
+        f"  serial uncached  {sweep['serial_uncached_s']:.3f}s"
+    )
+    lines.append(
+        f"  cold cache       {sweep['cold_cache_s']:.3f}s"
+        f"  ({sweep['cold_speedup']:.2f}x)"
+    )
+    lines.append(
+        f"  warm cache       {sweep['warm_cache_s']:.3f}s"
+        f"  ({sweep['warm_speedup']:.2f}x)"
+    )
+    lines.append(
+        "  rows identical   "
+        + ("yes" if sweep.get("rows_identical") else "NO")
+    )
+    return "\n".join(lines)

@@ -12,6 +12,9 @@ Commands:
 * ``chaos <benchmark> [--scenario ...]`` — train under an injected fault
   scenario with the fault-tolerant runtime and report recovery cost
   against the healthy run.
+* ``perf [--quick] [--update-baseline]`` — time the toolchain stages and
+  a cached/parallel figure regeneration, and gate against the committed
+  ``BENCH_perf.json`` baseline.
 """
 
 from __future__ import annotations
@@ -73,6 +76,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--samples", type=int, default=1024)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--checkpoint-every", type=int, default=4)
+
+    perf = sub.add_parser(
+        "perf", help="time the toolchain and gate against BENCH_perf.json"
+    )
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="small benchmark subset, one repeat (the CI smoke gate)",
+    )
+    perf.add_argument(
+        "--bench",
+        action="append",
+        dest="benches",
+        metavar="NAME",
+        help="limit the stage matrix to this benchmark (repeatable)",
+    )
+    perf.add_argument(
+        "--baseline",
+        default="BENCH_perf.json",
+        help="baseline payload to compare against (default BENCH_perf.json)",
+    )
+    perf.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write this run's payload to PATH",
+    )
+    perf.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run to the baseline path instead of comparing",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="flag stages slower than TOLERANCE x baseline (default 2.0)",
+    )
     return parser
 
 
@@ -93,6 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_train(args)
     if command == "chaos":
         return _cmd_chaos(args)
+    if command == "perf":
+        return _cmd_perf(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -315,6 +358,46 @@ def _cmd_chaos(args) -> int:
     )
     print(f"loss:               {result.final_loss:.4f} "
           f"(healthy {healthy.final_loss:.4f}, delta {delta:.2f}%)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from pathlib import Path
+
+    from .bench.perf import (
+        compare_to_baseline,
+        load_report,
+        render_report,
+        run_perf,
+        write_report,
+    )
+
+    report = run_perf(names=args.benches, quick=args.quick)
+    print(render_report(report))
+
+    baseline_path = Path(args.baseline)
+    if args.output:
+        write_report(report, Path(args.output))
+        print(f"\nwrote {args.output}")
+    if args.update_baseline:
+        write_report(report, baseline_path)
+        print(f"\nwrote baseline {baseline_path}")
+        return 0
+    if not baseline_path.is_file():
+        print(
+            f"\nno baseline at {baseline_path}; run with --update-baseline "
+            "to create one"
+        )
+        return 0
+    problems = compare_to_baseline(
+        report, load_report(baseline_path), tolerance=args.tolerance
+    )
+    if problems:
+        print(f"\nPERF REGRESSIONS vs {baseline_path}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nwithin {args.tolerance:g}x of baseline {baseline_path}")
     return 0
 
 

@@ -8,14 +8,14 @@ plus the functional trainer. The scale-out system model lives in
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..circuit import RtlDesign, construct
 from ..compiler import CompiledProgram, compile_thread
-from ..dfg.translate import Translation, translate
-from ..dsl import parse
+from ..dfg.translate import Translation
 from ..hw.spec import ChipSpec, XILINX_VU9P
 from ..ml.benchmarks import Benchmark
+from ..perf.cache import cached_translate, compile_cache_key, get_cache
 from ..planner import AcceleratorPlan, CostParams, Planner
 from ..runtime import DistributedTrainer
 
@@ -40,12 +40,14 @@ class CosmicStack:
         """
         self.source = source
         self.density = dict(density or {})
-        self._translation = translate(parse(source), bindings)
+        self._translation = cached_translate(source, bindings)
         if functional_bindings and functional_bindings != bindings:
-            self._functional = translate(parse(source), functional_bindings)
+            self._functional = cached_translate(source, functional_bindings)
         else:
             self._functional = self._translation
-        self._plans: Dict[str, AcceleratorPlan] = {}
+        self._plans: Dict[
+            Tuple[ChipSpec, int, CostParams], AcceleratorPlan
+        ] = {}
 
     @classmethod
     def from_benchmark(cls, bench: Benchmark) -> "CosmicStack":
@@ -74,9 +76,17 @@ class CosmicStack:
         minibatch: Optional[int] = None,
         params: CostParams = CostParams(),
     ) -> AcceleratorPlan:
-        """Architecture layer: Planner DSE for ``chip`` (cached)."""
+        """Architecture layer: Planner DSE for ``chip`` (cached).
+
+        The key is the (chip, minibatch, params) value triple — both
+        dataclasses are frozen/hashable, so distinct parameter sets can
+        never collide the way a stringified repr could (and a ``scaled()``
+        chip that keeps its display name still gets its own entry).
+        ``Planner.plan`` additionally memoizes through the global artifact
+        cache, so equivalent plans are shared *across* stack instances.
+        """
         minibatch = minibatch or self._translation.minibatch
-        key = f"{chip.name}:{minibatch}:{params}"
+        key = (chip, minibatch, params)
         if key not in self._plans:
             self._plans[key] = Planner(chip, params).plan(
                 self._translation.dfg, minibatch, self.density
@@ -100,11 +110,22 @@ class CosmicStack:
         """
         from ..dfg.optimize import optimize
 
-        dfg = self._functional.dfg
-        if optimize_graph:
-            dfg, _ = optimize(dfg)
-        return compile_thread(
-            dfg, rows=rows, columns=columns, max_nodes=max_nodes
+        key = compile_cache_key(
+            self._functional.dfg, rows, columns, max_nodes, optimize_graph
+        )
+
+        def build() -> CompiledProgram:
+            dfg = self._functional.dfg
+            if optimize_graph:
+                dfg, _ = optimize(dfg)
+            return compile_thread(
+                dfg, rows=rows, columns=columns, max_nodes=max_nodes
+            )
+
+        from ..compiler.serialize import program_to_dict
+
+        return get_cache().get_or_compute(
+            "compile", key, build, sidecar=program_to_dict
         )
 
     def rtl(

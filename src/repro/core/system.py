@@ -129,7 +129,13 @@ def platform_for(
 
 @dataclass
 class CosmicSystem:
-    """``nodes`` accelerator-augmented machines under the CoSMIC runtime."""
+    """``nodes`` accelerator-augmented machines under the CoSMIC runtime.
+
+    One instance binds a (benchmark, platform) pair; every timing method
+    accepts a ``nodes`` override so figure sweeps construct the system
+    once and reuse it across node counts and mini-batch points instead of
+    re-deriving the platform per sweep point.
+    """
 
     bench: Benchmark
     platform: NodePlatform
@@ -137,9 +143,11 @@ class CosmicSystem:
     groups: Optional[int] = None
     spec_overrides: dict = field(default_factory=dict)
 
-    def cluster(self) -> ClusterSimulator:
+    def cluster(self, nodes: Optional[int] = None) -> ClusterSimulator:
         spec = ClusterSpec(
-            nodes=self.nodes, groups=self.groups, **self.spec_overrides
+            nodes=nodes or self.nodes,
+            groups=self.groups,
+            **self.spec_overrides,
         )
         return ClusterSimulator(
             spec,
@@ -147,20 +155,26 @@ class CosmicSystem:
             update_bytes=self.bench.model_bytes(),
         )
 
-    def iteration(self, minibatch_per_node: int = 10_000) -> IterationTiming:
-        return self.cluster().iteration(minibatch_per_node * self.nodes)
+    def iteration(
+        self, minibatch_per_node: int = 10_000, nodes: Optional[int] = None
+    ) -> IterationTiming:
+        nodes = nodes or self.nodes
+        return self.cluster(nodes).iteration(minibatch_per_node * nodes)
 
-    def epoch_seconds(self, minibatch_per_node: int = 10_000) -> float:
+    def epoch_seconds(
+        self, minibatch_per_node: int = 10_000, nodes: Optional[int] = None
+    ) -> float:
         """One pass over the benchmark's paper-scale training set."""
-        return self.cluster().epoch_seconds(
+        return self.cluster(nodes).epoch_seconds(
             self.bench.input_vectors, minibatch_per_node
         )
 
-    def system_power_watts(self) -> float:
-        return self.nodes * self.platform.node_power_watts()
+    def system_power_watts(self, nodes: Optional[int] = None) -> float:
+        return (nodes or self.nodes) * self.platform.node_power_watts()
 
     def throughput_samples_per_second(
-        self, minibatch_per_node: int = 10_000
+        self, minibatch_per_node: int = 10_000, nodes: Optional[int] = None
     ) -> float:
-        timing = self.iteration(minibatch_per_node)
-        return minibatch_per_node * self.nodes / timing.total_s
+        nodes = nodes or self.nodes
+        timing = self.iteration(minibatch_per_node, nodes)
+        return minibatch_per_node * nodes / timing.total_s

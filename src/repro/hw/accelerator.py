@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -26,6 +26,11 @@ from ..compiler.program import CompiledProgram
 from ..dfg import ir
 
 from .pe import Pe
+
+#: Whether :meth:`MimdTimingModel.run_batch` uses the closed-form NumPy
+#: path by default. The scalar loop remains available as the reference
+#: (``vectorized=False``) and the two are cross-validated bit-for-bit.
+VECTORIZED_DEFAULT = True
 
 
 @dataclass
@@ -175,9 +180,25 @@ class MimdTimingModel:
         self.preload_words = int(preload_words)
         self.drain_words = int(drain_words)
 
-    def run_batch(self, samples: int) -> MimdBatchResult:
+    def run_batch(
+        self, samples: int, vectorized: Optional[bool] = None
+    ) -> MimdBatchResult:
         """Cycles to stream + process ``samples`` vectors, plus the model
-        preload (broadcast) and gradient drain phases."""
+        preload (broadcast) and gradient drain phases.
+
+        ``vectorized=None`` follows the module default
+        (:data:`VECTORIZED_DEFAULT`); the scalar path is kept as the
+        cycle-faithful reference and cross-validated bit-for-bit in tests.
+        """
+        if vectorized is None:
+            vectorized = VECTORIZED_DEFAULT
+        if vectorized:
+            return self._run_batch_vectorized(samples)
+        return self._run_batch_scalar(samples)
+
+    def _run_batch_scalar(self, samples: int) -> MimdBatchResult:
+        """Reference implementation: step the round-robin interface one
+        sample at a time."""
         stream_per_sample = math.ceil(self.sample_words / self.columns)
         preload = math.ceil(self.preload_words / self.columns)
         drain = math.ceil(self.drain_words / self.columns) * self.threads
@@ -199,6 +220,67 @@ class MimdTimingModel:
             stream_cycles=interface_free - preload,
             compute_bound_threads=compute_bound,
             per_thread_finish=list(thread_free),
+        )
+
+    def _run_batch_vectorized(self, samples: int) -> MimdBatchResult:
+        """Closed-form solution of the scalar recurrence, over all threads
+        at once.
+
+        Thread ``t`` receives samples ``t, t+T, t+2T, ...``; its ``k``-th
+        sample finishes streaming at ``E_k = preload + (t+1+kT)*w`` where
+        ``w`` is the per-sample stream time and ``T*w`` the spacing
+        between consecutive arrivals at one thread. The per-thread finish
+        recurrence ``f_k = max(E_k, f_{k-1}) + C`` then has two regimes:
+
+        * ``T*w >= C`` (arrivals at least as slow as compute): every
+          sample starts on arrival, ``f_k = E_k + C``;
+        * ``T*w < C`` (compute is the bottleneck): only the first sample
+          waits for the stream, ``f_k = E_0 + (k+1)*C``.
+
+        Both reduce to arithmetic on per-thread sample counts, so the
+        whole batch costs O(threads) instead of O(samples).
+        """
+        stream_per_sample = math.ceil(self.sample_words / self.columns)
+        preload = math.ceil(self.preload_words / self.columns)
+        drain = math.ceil(self.drain_words / self.columns) * self.threads
+        total_threads = self.threads
+        compute = self.compute_cycles
+        if samples <= 0:
+            return MimdBatchResult(
+                total_cycles=preload + drain,
+                stream_cycles=0,
+                compute_bound_threads=0,
+                per_thread_finish=[preload] * total_threads,
+            )
+        t = np.arange(total_threads, dtype=np.int64)
+        # Samples assigned to thread t: ceil((samples - t) / threads).
+        counts = np.maximum(
+            0, (samples - t + total_threads - 1) // total_threads
+        )
+        spacing = total_threads * stream_per_sample
+        first_end = preload + (t + 1) * stream_per_sample  # E_0 per thread
+        if spacing >= compute:
+            # Stream-paced: finish = E_{k-1} + C for the last sample.
+            last_end = first_end + (counts - 1) * spacing
+            finish = np.where(counts > 0, last_end + compute, preload)
+        else:
+            # Compute-paced: finish = E_0 + counts * C.
+            finish = np.where(counts > 0, first_end + counts * compute, preload)
+        # A sample is "compute bound" when the thread was still busy (or
+        # just free) at stream end: always for follow-up samples when
+        # compute dominates or exactly matches the arrival spacing, and
+        # for every sample when streaming is free (w == 0).
+        if stream_per_sample == 0:
+            compute_bound = int(counts.sum())
+        elif spacing <= compute:
+            compute_bound = int(np.maximum(0, counts - 1).sum())
+        else:
+            compute_bound = 0
+        return MimdBatchResult(
+            total_cycles=int(finish.max()) + drain,
+            stream_cycles=samples * stream_per_sample,
+            compute_bound_threads=compute_bound,
+            per_thread_finish=[int(f) for f in finish],
         )
 
     def throughput_samples_per_cycle(self, samples: int = 1024) -> float:

@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
-from ..dfg.translate import Translation, translate
-from ..dsl import parse
+from ..dfg.translate import Translation
 from . import datasets
 from .programs import source_for
 
@@ -42,12 +41,18 @@ class Benchmark:
     def translate(self, scaled: bool = False) -> Translation:
         """Translate the benchmark's DSL program.
 
+        The result is memoized in the global artifact cache (every layer
+        re-derives sizes through here, so figure sweeps would otherwise
+        re-parse the same five programs hundreds of times).
+
         Args:
             scaled: bind the reduced functional dimensions instead of the
                 paper-scale ones (for actually running training).
         """
+        from ..perf.cache import cached_translate
+
         dims = self.functional_dims if scaled else self.dims
-        return translate(parse(self.source()), dims)
+        return cached_translate(self.source(), dims)
 
     # -- sizes ---------------------------------------------------------------
     def model_words(self) -> int:

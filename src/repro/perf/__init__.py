@@ -1,0 +1,49 @@
+"""Cross-layer performance subsystem: artifact cache + sweep parallelism.
+
+Two tools that make the stack fast *about itself*:
+
+* :mod:`repro.perf.cache` — a content-addressed artifact cache memoizing
+  Translations, AcceleratorPlans, and CompiledPrograms across stack and
+  system instances, with optional on-disk persistence.
+* :mod:`repro.perf.parallel` — a ``concurrent.futures``-based sweep
+  executor (with a deterministic serial fallback) that fans out
+  independent sweep points in the experiment harness and the Planner's
+  design-space exploration.
+
+The perf-regression harness that times the stack against a committed
+baseline lives in :mod:`repro.bench.perf` (``python -m repro perf``).
+"""
+
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    cache_disabled,
+    cached_translate,
+    configure_cache,
+    dfg_fingerprint,
+    fingerprint,
+    get_cache,
+    plan_from_dict,
+    plan_to_dict,
+)
+from .parallel import (
+    SweepExecutor,
+    default_executor,
+    set_default_executor,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "SweepExecutor",
+    "cache_disabled",
+    "cached_translate",
+    "configure_cache",
+    "default_executor",
+    "dfg_fingerprint",
+    "fingerprint",
+    "get_cache",
+    "plan_from_dict",
+    "plan_to_dict",
+    "set_default_executor",
+]

@@ -1,0 +1,100 @@
+"""Parallel sweep execution with a deterministic serial fallback.
+
+The experiment harness (Figures 7/8/9/12/15/16) and the Planner's
+design-space exploration are embarrassingly parallel: every sweep point is
+an independent pure computation. :class:`SweepExecutor` fans those points
+out over a ``concurrent.futures`` pool while keeping the *results* in
+input order, so parallel and serial runs produce bit-identical output —
+the property the perf harness asserts.
+
+Modes:
+
+* ``"serial"`` — a plain list comprehension; the reference path.
+* ``"thread"`` — ``ThreadPoolExecutor``. The sweep workloads release the
+  GIL inside NumPy and, more importantly, share the process-wide
+  :mod:`repro.perf.cache`, so one worker's translation/plan is every
+  worker's hit.
+* ``"process"`` — ``ProcessPoolExecutor`` for callables that are
+  picklable at module scope (the figure closures are not; the perf CLI
+  uses threads by default).
+* ``"auto"`` — threads when the machine has more than one CPU, else
+  serial.
+
+The default mode comes from ``REPRO_SWEEP_MODE`` (and worker count from
+``REPRO_SWEEP_JOBS``) so CI and the perf harness can steer sweeps without
+threading arguments through every figure function.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+MODES = ("auto", "serial", "thread", "process")
+
+
+class SweepExecutor:
+    """Order-preserving map over independent sweep points."""
+
+    def __init__(self, mode: str = "auto", max_workers: Optional[int] = None):
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        self.mode = mode
+        self.max_workers = max_workers
+
+    def resolved_mode(self) -> str:
+        """The concrete mode ``"auto"`` selects on this machine."""
+        if self.mode != "auto":
+            return self.mode
+        return "thread" if (os.cpu_count() or 1) > 1 else "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item; results follow the input order.
+
+        An exception in any worker propagates to the caller (after the
+        pool drains), exactly as the serial path would raise it.
+        """
+        points: Sequence[T] = list(items)
+        mode = self.resolved_mode()
+        if mode == "serial" or len(points) <= 1:
+            return [fn(p) for p in points]
+        workers = self.max_workers or min(len(points), os.cpu_count() or 1)
+        pool_cls = (
+            ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(fn, points))
+
+    def starmap(
+        self, fn: Callable[..., R], items: Iterable[tuple]
+    ) -> List[R]:
+        """:meth:`map` for argument tuples."""
+        return self.map(lambda args: fn(*args), items)
+
+
+_DEFAULT = SweepExecutor(
+    mode=os.environ.get("REPRO_SWEEP_MODE", "auto"),
+    max_workers=(
+        int(os.environ["REPRO_SWEEP_JOBS"])
+        if os.environ.get("REPRO_SWEEP_JOBS")
+        else None
+    ),
+)
+
+
+def default_executor() -> SweepExecutor:
+    """The executor the figure harness and Planner use by default."""
+    return _DEFAULT
+
+
+def set_default_executor(executor: SweepExecutor) -> SweepExecutor:
+    """Replace the default executor (the perf harness pins serial/thread
+    modes around its measurements); returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = executor
+    return previous

@@ -183,11 +183,23 @@ class AcceleratorPlan:
 
 
 class Planner:
-    """Design-space exploration for one DFG on one chip."""
+    """Design-space exploration for one DFG on one chip.
 
-    def __init__(self, chip: ChipSpec, params: CostParams = CostParams()):
+    ``executor`` (a :class:`repro.perf.parallel.SweepExecutor`) fans the
+    design-point evaluations out; ``None`` keeps the serial reference
+    path. Either way the chosen plan is identical — selection folds over
+    the points in enumeration order.
+    """
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        params: CostParams = CostParams(),
+        executor=None,
+    ):
         self._chip = chip
         self._params = params
+        self._executor = executor
 
     @property
     def chip(self) -> ChipSpec:
@@ -292,10 +304,33 @@ class Planner:
         density: Optional[Mapping[str, float]] = None,
         stream_words: Optional[float] = None,
     ) -> AcceleratorPlan:
-        """Pick the smallest, best-performing design point."""
+        """Pick the smallest, best-performing design point.
+
+        Memoized in the global artifact cache, keyed by the content of
+        every input (chip, cost params, DFG, minibatch, density, stream
+        size) — repeated sweeps over identical points skip the whole DSE.
+        """
+        from ..perf.cache import get_cache, plan_cache_key, plan_to_dict
+
+        key = plan_cache_key(
+            self._chip, self._params, dfg, minibatch, density, stream_words
+        )
+        return get_cache().get_or_compute(
+            "plan",
+            key,
+            lambda: self._plan_uncached(dfg, minibatch, density, stream_words),
+            sidecar=plan_to_dict,
+        )
+
+    def _plan_uncached(
+        self,
+        dfg: ir.Dfg,
+        minibatch: int,
+        density: Optional[Mapping[str, float]],
+        stream_words: Optional[float],
+    ) -> AcceleratorPlan:
         best: Optional[AcceleratorPlan] = None
-        for point in self.design_space(dfg, minibatch):
-            plan = self.evaluate(dfg, point, minibatch, density, stream_words)
+        for plan in self._evaluate_all(dfg, minibatch, density, stream_words):
             if best is None or _better(plan, best, minibatch):
                 best = plan
         assert best is not None
@@ -308,13 +343,53 @@ class Planner:
         density: Optional[Mapping[str, float]] = None,
         stream_words: Optional[float] = None,
     ) -> Dict[str, AcceleratorPlan]:
-        """Evaluate every design point (Figure 16's DSE heat map)."""
-        return {
-            point.label(): self.evaluate(
-                dfg, point, minibatch, density, stream_words
-            )
-            for point in self.design_space(dfg, minibatch)
-        }
+        """Evaluate every design point (Figure 16's DSE heat map).
+
+        Memoized like :meth:`plan` — the sweep is a pure function of the
+        same inputs, and Figure 16 re-runs it per benchmark.
+        """
+        from ..perf.cache import get_cache, plan_cache_key
+
+        key = plan_cache_key(
+            self._chip, self._params, dfg, minibatch, density, stream_words
+        )
+        return get_cache().get_or_compute(
+            "sweep",
+            key,
+            lambda: self._sweep_uncached(dfg, minibatch, density, stream_words),
+        )
+
+    def _sweep_uncached(
+        self,
+        dfg: ir.Dfg,
+        minibatch: int,
+        density: Optional[Mapping[str, float]],
+        stream_words: Optional[float],
+    ) -> Dict[str, AcceleratorPlan]:
+        points = self.design_space(dfg, minibatch)
+        plans = self._evaluate_all(
+            dfg, minibatch, density, stream_words, points
+        )
+        return {p.label(): plan for p, plan in zip(points, plans)}
+
+    def _evaluate_all(
+        self,
+        dfg: ir.Dfg,
+        minibatch: int,
+        density: Optional[Mapping[str, float]],
+        stream_words: Optional[float],
+        points: Optional[List[DesignPoint]] = None,
+    ) -> List[AcceleratorPlan]:
+        """All design points, in enumeration order, optionally parallel."""
+        if points is None:
+            points = self.design_space(dfg, minibatch)
+
+        def evaluate(point: DesignPoint) -> AcceleratorPlan:
+            return self.evaluate(dfg, point, minibatch, density, stream_words)
+
+        if self._executor is None:
+            return [evaluate(p) for p in points]
+        return self._executor.map(evaluate, points)
 
 
 def _better(a: AcceleratorPlan, b: AcceleratorPlan, minibatch: int) -> bool:

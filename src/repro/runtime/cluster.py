@@ -164,17 +164,60 @@ class ClusterSimulator:
         aggregation window per :class:`QuorumConfig` instead of blocking
         on the slowest partial; the timing's ``dropped`` field lists the
         node ids whose partials missed the window.
+
+        The event simulation itself is a pure function of the cluster
+        spec, topology, update size, quorum rule, and each node's compute
+        time — so it is memoized in the artifact cache keyed on exactly
+        those inputs. The compute model is still invoked once per node
+        per call (it may be stateful, e.g. straggler injection), and its
+        *results* are part of the key: different compute times mean a
+        fresh simulation, identical ones reuse the previous schedule.
         """
+        from dataclasses import replace
+
+        from ..perf.cache import fingerprint, get_cache
+
+        topo = self.topology
+        per_node = max(1, batch_samples // topo.nodes)
+        compute_times = [
+            self._compute_seconds(role.node_id, per_node)
+            for role in topo.roles
+        ]
+        cache = get_cache()
+        if not cache.enabled:  # skip fingerprinting on the uncached path
+            return self._iteration_uncached(quorum, compute_times)
+        key = fingerprint(
+            "iteration",
+            self.spec,
+            topo.roles,
+            self.update_bytes,
+            quorum,
+            compute_times,
+        )
+        timing = cache.get_or_compute(
+            "iteration",
+            key,
+            lambda: self._iteration_uncached(quorum, compute_times),
+        )
+        # Hand every caller its own list fields; the cached instance must
+        # stay pristine for the next hit.
+        return replace(
+            timing,
+            contributors=list(timing.contributors),
+            dropped=list(timing.dropped),
+        )
+
+    def _iteration_uncached(
+        self,
+        quorum: Optional[QuorumConfig],
+        compute_times: List[float],
+    ) -> IterationTiming:
         spec = self.spec
         topo = self.topology
         network = Network(EventLoop(), spec.network)
 
-        per_node = max(1, batch_samples // topo.nodes)
         compute_done: Dict[int, float] = {}
-        compute_times: List[float] = []
-        for role in topo.roles:
-            seconds = self._compute_seconds(role.node_id, per_node)
-            compute_times.append(seconds)
+        for role, seconds in zip(topo.roles, compute_times):
             compute_done[role.node_id] = spec.management_overhead_s + seconds
 
         first_send = min(compute_done.values())

@@ -154,4 +154,9 @@ class TestPropertyRoundTrip:
                  "c": np.float64(2.5)}
         out1 = Interpreter(t1.dfg).run(feeds)
         out2 = Interpreter(t2.dfg).run(feeds)
-        np.testing.assert_allclose(out1["g_a"], out2["g_a"], rtol=1e-12)
+        # atol: pretty-printing may re-associate float arithmetic, so a
+        # value that cancels to exactly 0.0 on one side can come out as
+        # ~1e-17 on the other; rtol alone can never accept that at zero.
+        np.testing.assert_allclose(
+            out1["g_a"], out2["g_a"], rtol=1e-12, atol=1e-12
+        )

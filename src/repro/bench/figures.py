@@ -17,6 +17,7 @@ from ..core.system import CosmicSystem, platform_for
 from ..hw.spec import XILINX_VU9P
 from ..ml.benchmarks import BENCHMARKS, Benchmark, benchmark
 from ..perf.parallel import default_executor
+from ..perf.tasks import sweep_task, task_call
 from ..planner import Planner
 from .results import ExperimentResult, geomean
 
@@ -30,11 +31,15 @@ def _benches(names: Optional[Iterable[str]] = None) -> List[Benchmark]:
     return [benchmark(n) for n in names]
 
 
-def _per_bench(names: Optional[Iterable[str]], point_fn) -> List:
-    """Evaluate ``point_fn`` for every benchmark, fanned out over the
-    default sweep executor; results keep benchmark order, so parallel and
-    serial runs build identical tables."""
-    return default_executor().map(point_fn, _benches(names))
+def _per_bench(names: Optional[Iterable[str]], point_fn, *args) -> List:
+    """Evaluate the registered ``point_fn`` for every benchmark, fanned
+    out over the default sweep executor; results keep benchmark order, so
+    parallel and serial runs build identical tables. Sweep items are
+    benchmark *names* and ``point_fn`` a module-level sweep task, so the
+    fan-out also works under a process-pool executor."""
+    return default_executor().map(
+        task_call(point_fn, *args), [b.name for b in _benches(names)]
+    )
 
 
 def _system(bench: Benchmark, kind: str, nodes: int,
@@ -147,18 +152,23 @@ def table3() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@sweep_task("figures.epoch_grid")
+def _epoch_point(name: str, nodes: Tuple[int, ...]):
+    b = benchmark(name)
+    spark_b = {n: SparkModel(n).epoch_seconds(b) for n in nodes}
+    system = _system(b, "fpga", nodes[0])
+    cosmic_b = {n: system.epoch_seconds(nodes=n) for n in nodes}
+    return b.name, spark_b, cosmic_b
+
+
 def _epoch_grid(
     names: Optional[Iterable[str]], nodes: Sequence[int]
 ) -> Tuple[Dict[str, Dict[int, float]], Dict[str, Dict[int, float]]]:
-    def point(b: Benchmark):
-        spark_b = {n: SparkModel(n).epoch_seconds(b) for n in nodes}
-        system = _system(b, "fpga", nodes[0])
-        cosmic_b = {n: system.epoch_seconds(nodes=n) for n in nodes}
-        return b.name, spark_b, cosmic_b
-
     spark: Dict[str, Dict[int, float]] = {}
     cosmic: Dict[str, Dict[int, float]] = {}
-    for name, spark_b, cosmic_b in _per_bench(names, point):
+    for name, spark_b, cosmic_b in _per_bench(
+        names, _epoch_point, tuple(nodes)
+    ):
         spark[name] = spark_b
         cosmic[name] = cosmic_b
     return spark, cosmic
@@ -248,6 +258,21 @@ def figure8(
 # ---------------------------------------------------------------------------
 
 
+@sweep_task("figures.figure9")
+def _figure9_point(name: str, nodes: int):
+    b = benchmark(name)
+    epochs = {
+        kind: _system(b, kind, nodes).epoch_seconds()
+        for kind in PLATFORMS
+    }
+    return {
+        "name": b.name,
+        "pasic_f_x": epochs["fpga"] / epochs["pasic-f"],
+        "pasic_g_x": epochs["fpga"] / epochs["pasic-g"],
+        "gpu_x": epochs["fpga"] / epochs["gpu"],
+    }
+
+
 def figure9(
     names: Optional[Iterable[str]] = None, nodes: int = 3
 ) -> ExperimentResult:
@@ -262,23 +287,31 @@ def figure9(
             "geomean_gpu_x": 1.5,
         },
     )
-    def point(b: Benchmark):
-        epochs = {
-            kind: _system(b, kind, nodes).epoch_seconds()
-            for kind in PLATFORMS
-        }
-        return {
-            "name": b.name,
-            "pasic_f_x": epochs["fpga"] / epochs["pasic-f"],
-            "pasic_g_x": epochs["fpga"] / epochs["pasic-g"],
-            "gpu_x": epochs["fpga"] / epochs["gpu"],
-        }
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure9_point, nodes):
         result.add_row(**row)
     for col in ("pasic_f_x", "pasic_g_x", "gpu_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
     return result
+
+
+@sweep_task("figures.figure10")
+def _figure10_point(name: str, samples: int):
+    b = benchmark(name)
+    # Computation-only: each chip streams from its own off-chip memory at
+    # full rate (no host/PCIe ceiling — that belongs to the system-level
+    # Figure 9).
+    times = {
+        kind: platform_for(b, kind, ingest_cap=False).compute_seconds(
+            samples
+        )
+        for kind in PLATFORMS
+    }
+    return {
+        "name": b.name,
+        "pasic_f_x": times["fpga"] / times["pasic-f"],
+        "pasic_g_x": times["fpga"] / times["pasic-g"],
+        "gpu_x": times["fpga"] / times["gpu"],
+    }
 
 
 def figure10(
@@ -297,30 +330,30 @@ def figure10(
             "acoustic_gpu_x": 12.8,
         },
     )
-    def point(b: Benchmark):
-        # Computation-only: each chip streams from its own off-chip
-        # memory at full rate (no host/PCIe ceiling — that belongs to
-        # the system-level Figure 9).
-        times = {
-            kind: platform_for(b, kind, ingest_cap=False).compute_seconds(
-                samples
-            )
-            for kind in PLATFORMS
-        }
-        return {
-            "name": b.name,
-            "pasic_f_x": times["fpga"] / times["pasic-f"],
-            "pasic_g_x": times["fpga"] / times["pasic-g"],
-            "gpu_x": times["fpga"] / times["gpu"],
-        }
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure10_point, samples):
         result.add_row(**row)
         if row["name"] in ("mnist", "acoustic"):
             result.summary[f"{row['name']}_gpu_x"] = row["gpu_x"]
     for col in ("pasic_f_x", "pasic_g_x", "gpu_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
     return result
+
+
+@sweep_task("figures.figure11")
+def _figure11_point(name: str, nodes: int):
+    b = benchmark(name)
+    perf_per_watt = {}
+    for kind in PLATFORMS:
+        system = _system(b, kind, nodes)
+        epoch = system.epoch_seconds()
+        perf_per_watt[kind] = 1.0 / (epoch * system.system_power_watts())
+    gpu = perf_per_watt["gpu"]
+    return {
+        "name": b.name,
+        "fpga_x": perf_per_watt["fpga"] / gpu,
+        "pasic_f_x": perf_per_watt["pasic-f"] / gpu,
+        "pasic_g_x": perf_per_watt["pasic-g"] / gpu,
+    }
 
 
 def figure11(
@@ -337,21 +370,7 @@ def figure11(
             "geomean_pasic_g_x": 8.2,
         },
     )
-    def point(b: Benchmark):
-        perf_per_watt = {}
-        for kind in PLATFORMS:
-            system = _system(b, kind, nodes)
-            epoch = system.epoch_seconds()
-            perf_per_watt[kind] = 1.0 / (epoch * system.system_power_watts())
-        gpu = perf_per_watt["gpu"]
-        return {
-            "name": b.name,
-            "fpga_x": perf_per_watt["fpga"] / gpu,
-            "pasic_f_x": perf_per_watt["pasic-f"] / gpu,
-            "pasic_g_x": perf_per_watt["pasic-g"] / gpu,
-        }
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure11_point, nodes):
         result.add_row(**row)
     for col in ("fpga_x", "pasic_f_x", "pasic_g_x"):
         result.summary[f"geomean_{col}"] = geomean(result.column(col))
@@ -361,6 +380,19 @@ def figure11(
 # ---------------------------------------------------------------------------
 # Figures 12-14: mini-batch sensitivity and speedup sources
 # ---------------------------------------------------------------------------
+
+
+@sweep_task("figures.figure12")
+def _figure12_point(name: str, minibatches: Tuple[int, ...], nodes: int):
+    b = benchmark(name)
+    spark = SparkModel(nodes)
+    base = spark.epoch_seconds(b, 10_000)
+    system = _system(b, "fpga", nodes)
+    row = {"name": b.name}
+    for mb in minibatches:
+        row[f"spark_b{mb}"] = base / spark.epoch_seconds(b, mb)
+        row[f"cosmic_b{mb}"] = base / system.epoch_seconds(mb)
+    return row
 
 
 def figure12(
@@ -378,17 +410,7 @@ def figure12(
         + [f"cosmic_b{b}" for b in minibatches],
         paper={"geomean_gap_b500": 16.8, "geomean_gap_b100000": 9.1},
     )
-    def point(b: Benchmark):
-        spark = SparkModel(nodes)
-        base = spark.epoch_seconds(b, 10_000)
-        system = _system(b, "fpga", nodes)
-        row = {"name": b.name}
-        for mb in minibatches:
-            row[f"spark_b{mb}"] = base / spark.epoch_seconds(b, mb)
-            row[f"cosmic_b{mb}"] = base / system.epoch_seconds(mb)
-        return row
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure12_point, tuple(minibatches), nodes):
         result.add_row(**row)
     for mb in (minibatches[0], minibatches[-1]):
         gaps = [
@@ -397,6 +419,17 @@ def figure12(
         ]
         result.summary[f"geomean_gap_b{mb}"] = geomean(gaps)
     return result
+
+
+@sweep_task("figures.figure13")
+def _figure13_point(name: str, minibatches: Tuple[int, ...], nodes: int):
+    b = benchmark(name)
+    system = _system(b, "fpga", nodes)
+    row = {"name": b.name}
+    for mb in minibatches:
+        timing = system.iteration(mb)
+        row[f"compute_frac_b{mb}"] = timing.compute_fraction
+    return row
 
 
 def figure13(
@@ -411,20 +444,26 @@ def figure13(
         ["name"] + [f"compute_frac_b{b}" for b in minibatches],
         paper={"mean_frac_b500": 0.12, "mean_frac_b100000": 0.95},
     )
-    def point(b: Benchmark):
-        system = _system(b, "fpga", nodes)
-        row = {"name": b.name}
-        for mb in minibatches:
-            timing = system.iteration(mb)
-            row[f"compute_frac_b{mb}"] = timing.compute_fraction
-        return row
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure13_point, tuple(minibatches), nodes):
         result.add_row(**row)
     for mb in (minibatches[0], minibatches[-1]):
         col = result.column(f"compute_frac_b{mb}")
         result.summary[f"mean_frac_b{mb}"] = sum(col) / len(col)
     return result
+
+
+@sweep_task("figures.figure14")
+def _figure14_point(name: str, nodes: int):
+    b = benchmark(name)
+    spark = SparkModel(nodes).iteration(b, 10_000 * nodes)
+    timing = _system(b, "fpga", nodes).iteration(10_000)
+    fpga_x = spark.compute_s / timing.compute_s
+    spark_rest = spark.total_s - spark.compute_s
+    cosmic_rest = max(1e-9, timing.total_s - timing.compute_s)
+    return {
+        "name": b.name, "fpga_x": fpga_x,
+        "syssw_x": spark_rest / cosmic_rest,
+    }
 
 
 def figure14(
@@ -438,18 +477,7 @@ def figure14(
         ["name", "fpga_x", "syssw_x"],
         paper={"geomean_fpga_x": 20.7, "geomean_syssw_x": 28.4},
     )
-    def point(b: Benchmark):
-        spark = SparkModel(nodes).iteration(b, 10_000 * nodes)
-        timing = _system(b, "fpga", nodes).iteration(10_000)
-        fpga_x = spark.compute_s / timing.compute_s
-        spark_rest = spark.total_s - spark.compute_s
-        cosmic_rest = max(1e-9, timing.total_s - timing.compute_s)
-        return {
-            "name": b.name, "fpga_x": fpga_x,
-            "syssw_x": spark_rest / cosmic_rest,
-        }
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure14_point, nodes):
         result.add_row(**row)
     result.summary["geomean_fpga_x"] = geomean(result.column("fpga_x"))
     result.summary["geomean_syssw_x"] = geomean(result.column("syssw_x"))
@@ -459,6 +487,35 @@ def figure14(
 # ---------------------------------------------------------------------------
 # Figures 15 & 16: resource sensitivity and design-space exploration
 # ---------------------------------------------------------------------------
+
+
+@sweep_task("figures.figure15")
+def _figure15_point(
+    name: str, pe_counts: Tuple[int, ...], bandwidth_x: Tuple[float, ...]
+):
+    b = benchmark(name)
+    dfg = b.translate().dfg
+    row = {"name": b.name}
+    base = None
+    for pes in pe_counts:
+        chip = XILINX_VU9P.scaled(
+            dsp_slices=pes * XILINX_VU9P.dsp_per_pe,
+            max_rows=max(1, pes // XILINX_VU9P.columns),
+        )
+        plan = Planner(chip).plan(dfg, 10_000, b.density)
+        tput = plan.samples_per_second
+        base = base or tput
+        row[f"pe{pes}"] = tput / base
+    base = None
+    for x in bandwidth_x:
+        chip = XILINX_VU9P.scaled(
+            bandwidth_bytes=XILINX_VU9P.bandwidth_bytes * x
+        )
+        plan = Planner(chip).plan(dfg, 10_000, b.density)
+        tput = plan.samples_per_second
+        base = base or tput
+        row[f"bw{x}x"] = tput / base
+    return row
 
 
 def figure15(
@@ -475,31 +532,9 @@ def figure15(
         + [f"pe{p}" for p in pe_counts]
         + [f"bw{x}x" for x in bandwidth_x],
     )
-    def point(b: Benchmark):
-        dfg = b.translate().dfg
-        row = {"name": b.name}
-        base = None
-        for pes in pe_counts:
-            chip = XILINX_VU9P.scaled(
-                dsp_slices=pes * XILINX_VU9P.dsp_per_pe,
-                max_rows=max(1, pes // XILINX_VU9P.columns),
-            )
-            plan = Planner(chip).plan(dfg, 10_000, b.density)
-            tput = plan.samples_per_second
-            base = base or tput
-            row[f"pe{pes}"] = tput / base
-        base = None
-        for x in bandwidth_x:
-            chip = XILINX_VU9P.scaled(
-                bandwidth_bytes=XILINX_VU9P.bandwidth_bytes * x
-            )
-            plan = Planner(chip).plan(dfg, 10_000, b.density)
-            tput = plan.samples_per_second
-            base = base or tput
-            row[f"bw{x}x"] = tput / base
-        return row
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(
+        names, _figure15_point, tuple(pe_counts), tuple(bandwidth_x)
+    ):
         result.add_row(**row)
     compute_bound = ("mnist", "acoustic", "movielens", "netflix")
     scale_col = f"pe{pe_counts[-1]}"
@@ -518,6 +553,18 @@ def figure15(
     return result
 
 
+@sweep_task("figures.figure16")
+def _figure16_point(name: str):
+    b = benchmark(name)
+    planner = Planner(XILINX_VU9P, executor=default_executor())
+    sweep = planner.sweep(b.translate().dfg, 10_000, b.density)
+    base = sweep["T1xR1"].seconds_for(10_000)
+    return b.name, {
+        label: base / plan.seconds_for(10_000)
+        for label, plan in sweep.items()
+    }
+
+
 def figure16(
     names: Iterable[str] = ("mnist", "movielens", "stock", "tumor"),
 ) -> ExperimentResult:
@@ -528,16 +575,7 @@ def figure16(
         "Design space exploration, speedup over T1xR1",
         ["name", "point", "speedup"],
     )
-    def point(b: Benchmark):
-        planner = Planner(XILINX_VU9P, executor=default_executor())
-        sweep = planner.sweep(b.translate().dfg, 10_000, b.density)
-        base = sweep["T1xR1"].seconds_for(10_000)
-        return b.name, {
-            label: base / plan.seconds_for(10_000)
-            for label, plan in sweep.items()
-        }
-
-    for name, speedups in _per_bench(names, point):
+    for name, speedups in _per_bench(names, _figure16_point):
         best_label, best_speed = None, 0.0
         for label, speedup in speedups.items():
             result.add_row(name=name, point=label, speedup=speedup)
@@ -555,6 +593,17 @@ def figure16(
 # ---------------------------------------------------------------------------
 
 
+@sweep_task("figures.figure17")
+def _figure17_point(name: str):
+    b = benchmark(name)
+    return {
+        "name": b.name,
+        "speedup": cosmic_vs_tabla_speedup(
+            b.translate().dfg, density=b.density
+        ),
+    }
+
+
 def figure17(names: Optional[Iterable[str]] = None) -> ExperimentResult:
     """Figure 17: CoSMIC's template architecture vs TABLA's on the same
     UltraScale+ resources."""
@@ -564,15 +613,7 @@ def figure17(names: Optional[Iterable[str]] = None) -> ExperimentResult:
         ["name", "speedup"],
         paper={"geomean_speedup": 3.9},
     )
-    def point(b: Benchmark):
-        return {
-            "name": b.name,
-            "speedup": cosmic_vs_tabla_speedup(
-                b.translate().dfg, density=b.density
-            ),
-        }
-
-    for row in _per_bench(names, point):
+    for row in _per_bench(names, _figure17_point):
         result.add_row(**row)
     result.summary["geomean_speedup"] = geomean(result.column("speedup"))
     return result

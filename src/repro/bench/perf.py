@@ -148,15 +148,21 @@ def _result_payload(results: Sequence) -> str:
 
 
 def measure_figure_sweep(quick: bool = False) -> Dict[str, float]:
-    """Regenerate Figure 7 + Figure 16 on the three paths and compare.
+    """Regenerate Figure 7 + Figure 16 on the measured paths and compare.
 
-    Raises :class:`AssertionError` if any path's rows diverge from the
-    serial uncached reference — the determinism contract of the cache
-    and the parallel executor.
+    Four regenerations: the serial uncached reference (cache bypassed —
+    which also bypasses schedule replay, so the reference is pure
+    event-driven simulation), a cold-cache run with schedule replay
+    forced off, a cold-cache run with replay on (the shipping default:
+    records each cluster schedule once, replays every other point), and
+    a warm-cache run. Raises :class:`AssertionError` if any path's rows
+    diverge from the reference — the determinism contract of the cache,
+    the parallel executor, and the replay engine.
     """
     from ..bench import figures
     from ..perf.cache import cache_disabled, get_cache
     from ..perf.parallel import SweepExecutor, set_default_executor
+    from ..runtime.schedule import replay_disabled
 
     fig7_names = QUICK_BENCHES if quick else None
 
@@ -174,6 +180,11 @@ def measure_figure_sweep(quick: bool = False) -> Dict[str, float]:
 
         set_default_executor(SweepExecutor("auto"))
         cache.clear()
+        with replay_disabled():
+            start = time.perf_counter()
+            cold_noreplay = regenerate()
+            cold_noreplay_s = time.perf_counter() - start
+        cache.clear()
         start = time.perf_counter()
         cold = regenerate()
         cold_s = time.perf_counter() - start
@@ -184,19 +195,62 @@ def measure_figure_sweep(quick: bool = False) -> Dict[str, float]:
         set_default_executor(previous)
 
     expected = _result_payload(reference)
+    if _result_payload(cold_noreplay) != expected:
+        raise AssertionError(
+            "cold-cache (replay off) rows diverge from serial uncached"
+        )
     if _result_payload(cold) != expected:
-        raise AssertionError("cold-cache rows diverge from serial uncached")
+        raise AssertionError(
+            "cold-cache (replay on) rows diverge from serial uncached"
+        )
     if _result_payload(warm) != expected:
         raise AssertionError("warm-cache rows diverge from serial uncached")
 
     return {
         "serial_uncached_s": round(serial_uncached_s, 6),
+        "cold_noreplay_s": round(cold_noreplay_s, 6),
         "cold_cache_s": round(cold_s, 6),
         "warm_cache_s": round(warm_s, 6),
         "cold_speedup": round(serial_uncached_s / cold_s, 3),
         "warm_speedup": round(serial_uncached_s / warm_s, 3),
+        "replay_speedup": round(cold_noreplay_s / cold_s, 3),
         "rows_identical": True,
     }
+
+
+def run_replay_smoke(
+    names: Optional[Sequence[str]] = QUICK_BENCHES,
+) -> List[str]:
+    """CI probe: Figure 7 must be bit-identical with replay off and on.
+
+    Regenerates from a cleared cache twice — once with the schedule
+    replayer disabled (pure event-driven simulation) and once with it on
+    — and also checks that the replay run actually recorded schedule
+    traces (a silently-disabled replayer would vacuously pass). Returns
+    a list of problems; empty means the smoke passed.
+    """
+    from ..bench import figures
+    from ..perf.cache import get_cache
+    from ..runtime.schedule import replay_disabled
+
+    cache = get_cache()
+    problems: List[str] = []
+    cache.clear()
+    with replay_disabled():
+        off = [figures.figure7(names)]
+    cache.clear()
+    on = [figures.figure7(names)]
+    if _result_payload(off) != _result_payload(on):
+        problems.append(
+            "Figure 7 rows differ between replay-off and replay-on runs"
+        )
+    traced = [k for (k, _) in cache._memory if k == "cluster-schedule"]
+    if cache.enabled and not traced:
+        problems.append(
+            "replay-on run recorded no cluster-schedule traces; the "
+            "replayer never engaged"
+        )
+    return problems
 
 
 def run_perf(
@@ -286,6 +340,10 @@ def render_report(report: PerfReport) -> str:
     lines.append(
         f"  serial uncached  {sweep['serial_uncached_s']:.3f}s"
     )
+    if "cold_noreplay_s" in sweep:
+        lines.append(
+            f"  cold, no replay  {sweep['cold_noreplay_s']:.3f}s"
+        )
     lines.append(
         f"  cold cache       {sweep['cold_cache_s']:.3f}s"
         f"  ({sweep['cold_speedup']:.2f}x)"
@@ -294,6 +352,11 @@ def render_report(report: PerfReport) -> str:
         f"  warm cache       {sweep['warm_cache_s']:.3f}s"
         f"  ({sweep['warm_speedup']:.2f}x)"
     )
+    if "replay_speedup" in sweep:
+        lines.append(
+            f"  replay speedup   {sweep['replay_speedup']:.2f}x"
+            "  (cold regeneration, schedule replay off -> on)"
+        )
     lines.append(
         "  rows identical   "
         + ("yes" if sweep.get("rows_identical") else "NO")

@@ -14,7 +14,9 @@ Commands:
   against the healthy run.
 * ``perf [--quick] [--update-baseline]`` — time the toolchain stages and
   a cached/parallel figure regeneration, and gate against the committed
-  ``BENCH_perf.json`` baseline.
+  ``BENCH_perf.json`` baseline. ``--replay-smoke`` runs only the
+  schedule-replay identity probe (Figure 7 rows with replay off vs on).
+* ``cache stats|prune`` — inspect or evict the on-disk artifact cache.
 """
 
 from __future__ import annotations
@@ -114,6 +116,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="flag stages slower than TOLERANCE x baseline (default 2.0)",
     )
+    perf.add_argument(
+        "--replay-smoke",
+        action="store_true",
+        help="only assert Figure 7 rows identical with schedule replay "
+        "off vs on (the CI replay gate)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the artifact cache"
+    )
+    cache.add_argument("action", choices=["stats", "prune"])
+    cache.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="cache directory (default: REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: evict LRU entries until the disk tier fits this many "
+        "bytes (default: REPRO_CACHE_MAX_BYTES)",
+    )
+    cache.add_argument(
+        "--all",
+        action="store_true",
+        help="prune: evict every disk entry",
+    )
     return parser
 
 
@@ -136,6 +167,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if command == "perf":
         return _cmd_perf(args)
+    if command == "cache":
+        return _cmd_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -369,8 +402,20 @@ def _cmd_perf(args) -> int:
         load_report,
         render_report,
         run_perf,
+        run_replay_smoke,
         write_report,
     )
+
+    if args.replay_smoke:
+        problems = run_replay_smoke()
+        if problems:
+            print("REPLAY SMOKE FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("replay smoke passed: Figure 7 rows identical with "
+              "schedule replay off vs on")
+        return 0
 
     report = run_perf(names=args.benches, quick=args.quick)
     print(render_report(report))
@@ -398,6 +443,50 @@ def _cmd_perf(args) -> int:
             print(f"  - {problem}")
         return 1
     print(f"\nwithin {args.tolerance:g}x of baseline {baseline_path}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .perf.cache import ArtifactCache, get_cache
+
+    if args.dir is not None:
+        cache = ArtifactCache(disk_dir=args.dir)
+    else:
+        cache = get_cache()
+
+    if cache.disk_dir is None:
+        print("no disk cache configured (set REPRO_CACHE_DIR or --dir)")
+        return 0
+
+    if args.action == "stats":
+        usage = cache.disk_usage()
+        total_count = sum(count for count, _ in usage.values())
+        total_bytes = sum(nbytes for _, nbytes in usage.values())
+        print(f"cache dir:  {cache.disk_dir}")
+        cap = cache.max_disk_bytes
+        print(f"size cap:   {cap if cap is not None else 'none'}")
+        for kind in sorted(usage):
+            count, nbytes = usage[kind]
+            print(f"  {kind:20s} {count:4d} entries  {nbytes:>12,d} bytes")
+        print(f"  {'total':20s} {total_count:4d} entries  "
+              f"{total_bytes:>12,d} bytes")
+        return 0
+
+    # prune
+    if args.all:
+        cap = 0
+    elif args.max_bytes is not None:
+        cap = args.max_bytes
+    else:
+        cap = cache.max_disk_bytes
+    if cap is None:
+        print("no size cap given; pass --max-bytes N or --all "
+              "(or set REPRO_CACHE_MAX_BYTES)")
+        return 2
+    evicted = cache.prune_disk(max_bytes=cap)
+    freed = sum(entry.bytes for entry in evicted)
+    print(f"evicted {len(evicted)} entries ({freed:,d} bytes) "
+          f"from {cache.disk_dir}")
     return 0
 
 

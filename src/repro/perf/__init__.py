@@ -9,6 +9,9 @@ Two tools that make the stack fast *about itself*:
   executor (with a deterministic serial fallback) that fans out
   independent sweep points in the experiment harness and the Planner's
   design-space exploration.
+* :mod:`repro.perf.tasks` — a module-scope sweep task registry so
+  figure sweeps pickle cleanly into ``SweepExecutor("process")``
+  workers.
 
 The perf-regression harness that times the stack against a committed
 baseline lives in :mod:`repro.bench.perf` (``python -m repro perf``).
@@ -17,6 +20,7 @@ baseline lives in :mod:`repro.bench.perf` (``python -m repro perf``).
 from .cache import (
     ArtifactCache,
     CacheStats,
+    DiskEntry,
     cache_disabled,
     cached_translate,
     configure_cache,
@@ -31,11 +35,20 @@ from .parallel import (
     default_executor,
     set_default_executor,
 )
+from .tasks import (
+    TaskCall,
+    registered_tasks,
+    resolve,
+    sweep_task,
+    task_call,
+)
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "DiskEntry",
     "SweepExecutor",
+    "TaskCall",
     "cache_disabled",
     "cached_translate",
     "configure_cache",
@@ -45,5 +58,9 @@ __all__ = [
     "get_cache",
     "plan_from_dict",
     "plan_to_dict",
+    "registered_tasks",
+    "resolve",
     "set_default_executor",
+    "sweep_task",
+    "task_call",
 ]

@@ -40,7 +40,9 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 #: Artifact kinds that persist to disk when a cache directory is set.
 #: Translations stay memory-only: they are cheap to recompute and carry
 #: the whole AST/symbol table, which is not a deployment artifact.
-_DISK_KINDS = ("plan", "compile")
+#: Cluster schedule traces persist so a cold process replays figure
+#: sweeps without re-recording the event-driven simulation.
+_DISK_KINDS = ("plan", "compile", "cluster-schedule")
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +130,7 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -138,16 +141,37 @@ class CacheStats:
         return (self.hits + self.disk_hits) / total if total else 0.0
 
 
+@dataclasses.dataclass(frozen=True)
+class DiskEntry:
+    """One persisted artifact: the pickle plus its optional sidecar."""
+
+    kind: str
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
+
+
 class ArtifactCache:
-    """Two-tier (memory + optional disk) content-addressed artifact store."""
+    """Two-tier (memory + optional disk) content-addressed artifact store.
+
+    The disk tier is LRU-bounded when ``max_disk_bytes`` is set (or the
+    ``REPRO_CACHE_MAX_BYTES`` environment variable): every store evicts
+    least-recently-used entries (pickle + sidecar together) until the
+    tier fits, and every disk hit refreshes the entry's recency.
+    """
 
     def __init__(
-        self, disk_dir: Optional[Path] = None, enabled: bool = True
+        self,
+        disk_dir: Optional[Path] = None,
+        enabled: bool = True,
+        max_disk_bytes: Optional[int] = None,
     ):
         self._memory: Dict[Tuple[str, str], Any] = {}
         self._lock = threading.RLock()
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.enabled = enabled
+        self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
 
     # -- generic interface ------------------------------------------------
@@ -218,9 +242,14 @@ class ArtifactCache:
             return None
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                artifact = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return None  # treat a corrupt entry as a miss
+        try:
+            os.utime(path, None)  # refresh LRU recency
+        except OSError:
+            pass
+        return artifact
 
     def _disk_store(
         self,
@@ -242,6 +271,82 @@ class ArtifactCache:
 
             side = path.with_suffix(".json")
             side.write_text(json.dumps(sidecar(artifact), indent=2))
+        if self.max_disk_bytes is not None:
+            self.prune_disk(self.max_disk_bytes, keep_latest=True)
+
+    # -- disk-tier accounting / eviction ------------------------------------
+    def disk_entries(self) -> list:
+        """Every persisted artifact, as :class:`DiskEntry` records."""
+        entries = []
+        if self.disk_dir is None:
+            return entries
+        for kind in _DISK_KINDS:
+            folder = self.disk_dir / kind
+            if not folder.is_dir():
+                continue
+            for path in sorted(folder.glob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                nbytes = stat.st_size
+                side = path.with_suffix(".json")
+                if side.is_file():
+                    try:
+                        nbytes += side.stat().st_size
+                    except OSError:
+                        pass
+                entries.append(
+                    DiskEntry(
+                        kind=kind,
+                        key=path.stem,
+                        path=path,
+                        bytes=nbytes,
+                        mtime=stat.st_mtime,
+                    )
+                )
+        return entries
+
+    def disk_usage(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(entry_count, bytes)`` of the disk tier."""
+        usage: Dict[str, Tuple[int, int]] = {}
+        for entry in self.disk_entries():
+            count, nbytes = usage.get(entry.kind, (0, 0))
+            usage[entry.kind] = (count + 1, nbytes + entry.bytes)
+        return usage
+
+    def prune_disk(
+        self, max_bytes: Optional[int] = None, keep_latest: bool = False
+    ) -> list:
+        """Evict least-recently-used disk entries until the tier fits.
+
+        ``max_bytes`` defaults to the cache's configured cap; with no cap
+        at all this is a no-op unless ``max_bytes=0`` is passed to clear
+        everything. ``keep_latest`` protects the most recently touched
+        entry (the store that triggered the eviction must survive it).
+        Returns the evicted :class:`DiskEntry` records.
+        """
+        cap = self.max_disk_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return []
+        entries = sorted(self.disk_entries(), key=lambda e: e.mtime)
+        total = sum(e.bytes for e in entries)
+        if keep_latest and entries:
+            entries = entries[:-1]
+        evicted = []
+        for entry in entries:
+            if total <= cap:
+                break
+            for path in (entry.path, entry.path.with_suffix(".json")):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            total -= entry.bytes
+            evicted.append(entry)
+        with self._lock:
+            self.stats.evictions += len(evicted)
+        return evicted
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +360,11 @@ _GLOBAL = ArtifactCache(
         else None
     ),
     enabled=os.environ.get("REPRO_CACHE_DISABLE", "") not in ("1", "true"),
+    max_disk_bytes=(
+        int(os.environ["REPRO_CACHE_MAX_BYTES"])
+        if os.environ.get("REPRO_CACHE_MAX_BYTES")
+        else None
+    ),
 )
 
 
@@ -264,13 +374,17 @@ def get_cache() -> ArtifactCache:
 
 
 def configure_cache(
-    disk_dir: Optional[Path] = None, enabled: Optional[bool] = None
+    disk_dir: Optional[Path] = None,
+    enabled: Optional[bool] = None,
+    max_disk_bytes: Optional[int] = None,
 ) -> ArtifactCache:
-    """Adjust the global cache (persistence directory and/or on-off)."""
+    """Adjust the global cache (persistence directory, on-off, size cap)."""
     if disk_dir is not None:
         _GLOBAL.disk_dir = Path(disk_dir)
     if enabled is not None:
         _GLOBAL.enabled = enabled
+    if max_disk_bytes is not None:
+        _GLOBAL.max_disk_bytes = max_disk_bytes
     return _GLOBAL
 
 

@@ -1,0 +1,93 @@
+"""Module-scope sweep task registry for process-mode executors.
+
+``SweepExecutor("process")`` submits callables to a
+``ProcessPoolExecutor``, which pickles them into the workers. The figure
+harness naturally wants closures (a per-figure ``point`` function
+capturing a :class:`Benchmark` and sweep parameters), and closures do not
+pickle. This registry closes the gap without giving up the per-figure
+code shape:
+
+* figure point functions are module-level, decorated with
+  :func:`sweep_task` under a stable name, and take only picklable
+  arguments (the benchmark *name*, tuples of sweep parameters);
+* :func:`task_call` wraps one of them plus its bound arguments into a
+  :class:`TaskCall` — a tiny frozen dataclass that pickles as (task
+  name, defining module, args) and resolves the function from the
+  registry on call, importing the defining module first if the worker
+  process has not loaded it yet.
+
+The same :class:`TaskCall` works in serial/thread/process modes, so the
+harness no longer cares which executor is active.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def sweep_task(name: str):
+    """Register a module-level function as a named sweep task."""
+
+    def register(fn: Callable) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(
+                f"sweep task {name!r} is already registered to "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        fn.sweep_task_name = name
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def resolve(name: str, module: str = "") -> Callable:
+    """Look up a registered task, importing its defining module if this
+    process (e.g. a fresh pool worker) has not registered it yet."""
+    if name not in _REGISTRY and module:
+        importlib.import_module(module)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep task {name!r}; is its defining module "
+            f"importable in this process?"
+        ) from None
+
+
+def registered_tasks() -> Dict[str, Callable]:
+    """Snapshot of the registry (name -> function)."""
+    return dict(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class TaskCall:
+    """A picklable bound call of a registered sweep task.
+
+    ``TaskCall(task, module, args)(item)`` is
+    ``resolve(task, module)(item, *args)`` — the executor maps it over
+    sweep items in any mode.
+    """
+
+    task: str
+    module: str
+    args: Tuple[Any, ...] = field(default_factory=tuple)
+
+    def __call__(self, item: Any) -> Any:
+        return resolve(self.task, self.module)(item, *self.args)
+
+
+def task_call(fn: Callable, *args: Any) -> TaskCall:
+    """Bind trailing arguments to a registered task, picklably."""
+    name = getattr(fn, "sweep_task_name", None)
+    if name is None:
+        raise TypeError(
+            f"{fn!r} is not a registered sweep task; decorate it with "
+            f"@sweep_task(name) at module scope"
+        )
+    return TaskCall(name, fn.__module__, tuple(args))

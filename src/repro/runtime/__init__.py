@@ -43,6 +43,13 @@ from .recovery import (
     chaos_train,
     scenario_timeline,
 )
+from .schedule import (
+    ScheduleTrace,
+    record_schedule,
+    replay_disabled,
+    replay_enabled,
+    replay_iteration,
+)
 from .threads import CircularBuffer, PoolConfig, SigmaPipeline, WorkerPool
 from .trainer import DistributedTrainer, TrainingResult
 
@@ -86,6 +93,11 @@ __all__ = [
     "ROLE_MASTER_SIGMA",
     "ROLE_SIGMA",
     "Resource",
+    "ScheduleTrace",
+    "record_schedule",
+    "replay_disabled",
+    "replay_enabled",
+    "replay_iteration",
     "SigmaPipeline",
     "Topology",
     "TrainingResult",

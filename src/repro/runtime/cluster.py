@@ -125,6 +125,7 @@ class ClusterSimulator:
         compute_seconds: ComputeFn,
         update_bytes: int,
         topology: Optional[Topology] = None,
+        faults=None,
     ):
         """
         Args:
@@ -135,6 +136,11 @@ class ClusterSimulator:
             topology: explicit role assignment — the recovery layer passes
                 a re-formed hierarchy over surviving node ids here;
                 defaults to the Director's assignment for ``spec``.
+            faults: fault context (a FaultSpec/FaultTimeline, or any
+                truthy marker) under which this simulator runs. A faulted
+                cluster's schedule differs from the healthy one, so any
+                truthy value disables both the iteration memo and
+                schedule replay — every call re-simulates event-driven.
         """
         if update_bytes <= 0:
             raise ValueError("model update must have positive size")
@@ -146,11 +152,16 @@ class ClusterSimulator:
         )
         self._compute_seconds = compute_seconds
         self.update_bytes = update_bytes
+        self.faults = faults
 
     def with_topology(self, topology: Topology) -> "ClusterSimulator":
         """The same cluster model over a re-formed hierarchy."""
         return ClusterSimulator(
-            self.spec, self._compute_seconds, self.update_bytes, topology
+            self.spec,
+            self._compute_seconds,
+            self.update_bytes,
+            topology,
+            faults=self.faults,
         )
 
     def iteration(
@@ -172,6 +183,16 @@ class ClusterSimulator:
         per call (it may be stateful, e.g. straggler injection), and its
         *results* are part of the key: different compute times mean a
         fresh simulation, identical ones reuse the previous schedule.
+
+        Quorum-less healthy iterations additionally go through the
+        schedule-replay engine (:mod:`repro.runtime.schedule`): the event
+        schedule is recorded once per (topology, update size) and every
+        other sweep point re-times that trace instead of re-simulating.
+        A fault context on the simulator disables the memo, the schedule
+        cache, and replay — faults change the schedule, so a faulted run
+        must never see (or produce) a healthy-run artifact. The cached
+        and replayed results are bit-identical to the event-driven
+        simulation, enforced by the differential property suite.
         """
         from dataclasses import replace
 
@@ -183,6 +204,10 @@ class ClusterSimulator:
             self._compute_seconds(role.node_id, per_node)
             for role in topo.roles
         ]
+        if self.faults:
+            # Fault contexts bypass the memo AND the schedule cache: the
+            # healthy-run key does not describe a faulted schedule.
+            return self._iteration_uncached(quorum, compute_times)
         cache = get_cache()
         if not cache.enabled:  # skip fingerprinting on the uncached path
             return self._iteration_uncached(quorum, compute_times)
@@ -197,7 +222,7 @@ class ClusterSimulator:
         timing = cache.get_or_compute(
             "iteration",
             key,
-            lambda: self._iteration_uncached(quorum, compute_times),
+            lambda: self._timed_iteration(quorum, compute_times),
         )
         # Hand every caller its own list fields; the cached instance must
         # stay pristine for the next hit.
@@ -207,14 +232,61 @@ class ClusterSimulator:
             dropped=list(timing.dropped),
         )
 
-    def _iteration_uncached(
+    def _timed_iteration(
         self,
         quorum: Optional[QuorumConfig],
         compute_times: List[float],
     ) -> IterationTiming:
+        """Memo-miss path: replay the recorded schedule when eligible,
+        otherwise run the full event-driven simulation.
+
+        Quorum windows re-shape the schedule (probe passes, withheld
+        sends), so only quorum-less iterations replay.
+        """
+        from .schedule import replay_enabled, replay_iteration
+
+        if quorum is None and replay_enabled():
+            trace = self._schedule_trace()
+            return replay_iteration(trace, self.spec, compute_times)
+        return self._iteration_uncached(quorum, compute_times)
+
+    def _schedule_trace(self):
+        """Fetch (or record) this cluster's schedule trace, content-
+        addressed on everything that shapes the schedule."""
+        from ..perf.cache import get_cache
+        from .schedule import (
+            record_schedule,
+            schedule_cache_key,
+            trace_sidecar,
+        )
+
+        cache = get_cache()
+        key = schedule_cache_key(self.topology, self.update_bytes)
+        trace = cache.get_or_compute(
+            "cluster-schedule",
+            key,
+            lambda: record_schedule(self),
+            sidecar=trace_sidecar,
+        )
+        if trace.roles != tuple(self.topology.roles) or (
+            trace.update_bytes != self.update_bytes
+        ):
+            raise RuntimeError(
+                "cluster-schedule cache returned a trace recorded for a "
+                "different cluster; the cache key is missing an input"
+            )
+        return trace
+
+    def _iteration_uncached(
+        self,
+        quorum: Optional[QuorumConfig],
+        compute_times: List[float],
+        recorder=None,
+    ) -> IterationTiming:
         spec = self.spec
         topo = self.topology
         network = Network(EventLoop(), spec.network)
+        network.recorder = recorder
 
         compute_done: Dict[int, float] = {}
         for role, seconds in zip(topo.roles, compute_times):

@@ -397,4 +397,5 @@ def apply_faults(simulator, faults: Optional[FaultSpec]):
         faulty_compute(simulator._compute_seconds, faults),
         simulator.update_bytes,
         topology=simulator.topology,
+        faults=faults,
     )

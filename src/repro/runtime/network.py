@@ -96,6 +96,9 @@ class Network:
         self.messages_sent = 0
         self.retries = 0
         self.messages_failed = 0
+        #: Optional ScheduleRecorder capturing the event schedule — phase
+        #: boundaries (use_loop) and every send — for schedule replay.
+        self.recorder = None
 
     def nic(self, node_id: int) -> Nic:
         if node_id not in self._nics:
@@ -110,6 +113,8 @@ class Network:
         previous phase's stragglers (e.g. a quorum window that closed
         while a dropped partial was still in flight)."""
         self._loop = loop
+        if self.recorder is not None:
+            self.recorder.on_phase()
 
     def send(
         self,
@@ -135,6 +140,10 @@ class Network:
         dst_nic = self.nic(dst)
         self.bytes_sent += nbytes
         self.messages_sent += 1
+        if self.recorder is not None:
+            self.recorder.on_send(
+                src, dst, nbytes, start, -(-nbytes // cfg.chunk_bytes)
+            )
 
         cursor = start + cfg.per_message_overhead_s
         remaining = nbytes
@@ -181,6 +190,8 @@ class Network:
                 return self.send(src, dst, nbytes, cursor, on_chunk, on_done)
             cursor += attempt_timeout
             self.retries += 1
+            if self.recorder is not None:
+                self.recorder.on_retry(src, dst)
         self.messages_failed += 1
         return None
 

@@ -1,0 +1,171 @@
+"""Disk-tier LRU eviction, usage accounting, and the cache CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf.cache import ArtifactCache
+
+
+def store(cache, key, payload_bytes=1_000, kind="plan"):
+    cache.get_or_compute(kind, key, lambda: b"x" * payload_bytes)
+    return cache._disk_path(kind, key)
+
+
+def age(path, seconds_ago):
+    """Stage an entry's mtime into the past (the LRU ordering input)."""
+    t = os.stat(path).st_mtime - seconds_ago
+    os.utime(path, (t, t))
+
+
+class TestDiskAccounting:
+    def test_disk_entries_and_usage(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        store(cache, "a", 1_000, kind="plan")
+        store(cache, "b", 2_000, kind="compile")
+        entries = {(e.kind, e.key) for e in cache.disk_entries()}
+        assert entries == {("plan", "a"), ("compile", "b")}
+        usage = cache.disk_usage()
+        assert usage["plan"][0] == 1 and usage["compile"][0] == 1
+        assert usage["plan"][1] >= 1_000
+        assert usage["compile"][1] >= 2_000
+
+    def test_sidecar_bytes_counted(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.get_or_compute(
+            "plan", "k", lambda: b"x" * 100, sidecar=lambda a: {"n": len(a)}
+        )
+        (entry,) = cache.disk_entries()
+        assert entry.bytes > (tmp_path / "plan" / "k.pkl").stat().st_size
+
+    def test_no_disk_dir_is_empty(self):
+        cache = ArtifactCache()
+        assert cache.disk_entries() == []
+        assert cache.disk_usage() == {}
+
+
+class TestLruEviction:
+    def test_store_evicts_oldest_first(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path, max_disk_bytes=2_500)
+        a = store(cache, "a")
+        b = store(cache, "b")
+        age(a, 100)
+        age(b, 50)
+        c = store(cache, "c")  # pushes the tier over the cap
+        assert not a.exists()  # oldest went first
+        assert b.exists()
+        assert c.exists()  # keep_latest: the triggering store survives
+        assert cache.stats.evictions == 1
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        writer = ArtifactCache(disk_dir=tmp_path)
+        a = store(writer, "a")
+        b = store(writer, "b")
+        age(a, 100)
+        age(b, 50)
+        # A fresh instance (new process stand-in) reads "a" from disk,
+        # which must promote it over the untouched "b".
+        reader = ArtifactCache(disk_dir=tmp_path)
+        reader.get_or_compute("plan", "a", lambda: pytest.fail("disk miss"))
+        assert reader.stats.disk_hits == 1
+        evicted = reader.prune_disk(max_bytes=1_500)
+        assert [e.key for e in evicted] == ["b"]
+        assert a.exists() and not b.exists()
+
+    def test_prune_zero_clears_everything(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        store(cache, "a")
+        cache.get_or_compute(
+            "plan", "b", lambda: b"y" * 10, sidecar=lambda a: {"ok": 1}
+        )
+        evicted = cache.prune_disk(max_bytes=0)
+        assert {e.key for e in evicted} == {"a", "b"}
+        assert cache.disk_entries() == []
+        assert not (tmp_path / "plan" / "b.json").exists()
+        assert cache.stats.evictions == 2
+
+    def test_no_cap_is_a_noop(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)  # max_disk_bytes=None
+        store(cache, "a")
+        assert cache.prune_disk() == []
+        assert len(cache.disk_entries()) == 1
+
+    def test_under_cap_evicts_nothing(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path, max_disk_bytes=10**9)
+        store(cache, "a")
+        store(cache, "b")
+        assert cache.prune_disk() == []
+        assert len(cache.disk_entries()) == 2
+
+    def test_memory_tier_unaffected_by_eviction(self, tmp_path):
+        """Eviction reclaims disk; in-memory artifacts stay live. With a
+        zero cap only the latest store survives on disk (keep_latest
+        protects the entry whose store triggered the prune)."""
+        cache = ArtifactCache(disk_dir=tmp_path, max_disk_bytes=0)
+        a = store(cache, "a")
+        age(a, 100)
+        store(cache, "b")
+        assert [e.key for e in cache.disk_entries()] == ["b"]
+        for key in ("a", "b"):
+            cache.get_or_compute(
+                "plan", key, lambda: pytest.fail("memory tier lost an entry")
+            )
+
+    def test_env_cap_configures_global_cache(self, tmp_path, monkeypatch):
+        import importlib
+
+        import repro.perf.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        reloaded = importlib.reload(cache_mod)
+        try:
+            assert reloaded.get_cache().max_disk_bytes == 12345
+            assert reloaded.get_cache().disk_dir == tmp_path
+        finally:
+            monkeypatch.delenv("REPRO_CACHE_DIR")
+            monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+            importlib.reload(cache_mod)
+
+
+class TestCacheCli:
+    def test_stats_lists_usage(self, tmp_path, capsys):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        store(cache, "a")
+        assert cli_main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan" in out and str(tmp_path) in out
+
+    def test_prune_all_clears(self, tmp_path, capsys):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        store(cache, "a")
+        store(cache, "b")
+        assert cli_main(["cache", "prune", "--dir", str(tmp_path), "--all"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert cache.disk_entries() == []
+
+    def test_prune_max_bytes(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        a = store(cache, "a")
+        b = store(cache, "b")
+        age(a, 100)
+        code = cli_main(
+            ["cache", "prune", "--dir", str(tmp_path), "--max-bytes", "1500"]
+        )
+        assert code == 0
+        assert not a.exists() and b.exists()
+
+    def test_prune_without_cap_errors(self, tmp_path, capsys):
+        code = cli_main(["cache", "prune", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "no size cap" in capsys.readouterr().out
+
+    def test_no_disk_cache_message(self, capsys, monkeypatch):
+        import repro.perf.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "_GLOBAL", ArtifactCache(disk_dir=None)
+        )
+        assert cli_main(["cache", "stats"]) == 0
+        assert "no disk cache" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Sweep task registry: picklable figure sweeps for process pools."""
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.perf.parallel import SweepExecutor, set_default_executor
+from repro.perf.tasks import (
+    TaskCall,
+    registered_tasks,
+    resolve,
+    sweep_task,
+    task_call,
+)
+
+
+@sweep_task("tests.process_sweep.scale")
+def _scale(item, factor):
+    return item * factor
+
+
+class TestRegistry:
+    def test_decorator_registers_and_tags(self):
+        assert _scale.sweep_task_name == "tests.process_sweep.scale"
+        assert registered_tasks()["tests.process_sweep.scale"] is _scale
+
+    def test_reregistering_same_function_is_idempotent(self):
+        assert sweep_task("tests.process_sweep.scale")(_scale) is _scale
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @sweep_task("tests.process_sweep.scale")
+            def other(item):  # pragma: no cover - must not register
+                return item
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError, match="unknown sweep task"):
+            resolve("tests.process_sweep.no_such_task")
+
+    def test_task_call_requires_registration(self):
+        with pytest.raises(TypeError, match="not a registered sweep task"):
+            task_call(lambda item: item)
+
+    def test_figure_tasks_registered_on_import(self):
+        import repro.bench.figures  # noqa: F401  (registers on import)
+
+        names = registered_tasks()
+        for figure in ("epoch_grid", "figure9", "figure13", "figure16"):
+            assert f"figures.{figure}" in names
+
+
+class TestTaskCall:
+    def test_call_applies_bound_args(self):
+        call = task_call(_scale, 3)
+        assert call(7) == 21
+
+    def test_pickle_roundtrip(self):
+        call = task_call(_scale, 5)
+        clone = pickle.loads(pickle.dumps(call))
+        assert clone == call
+        assert clone(4) == 20
+
+    def test_works_under_every_executor_mode(self):
+        call = task_call(_scale, 2)
+        serial = SweepExecutor("serial").map(call, [1, 2, 3])
+        threaded = SweepExecutor("thread", max_workers=2).map(call, [1, 2, 3])
+        assert serial == threaded == [2, 4, 6]
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="spawn workers would not inherit this test module's tasks",
+)
+class TestProcessPool:
+    def test_task_call_runs_in_process_pool(self):
+        call = task_call(_scale, 10)
+        got = SweepExecutor("process", max_workers=1).map(call, [1, 2, 3])
+        assert got == [10, 20, 30]
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="process-parallel figure sweep needs more than one CPU",
+    )
+    def test_figure_sweep_identical_across_executors(self):
+        from repro.bench.figures import figure13
+
+        serial = figure13(names=["stock", "texture"])
+        previous = set_default_executor(
+            SweepExecutor("process", max_workers=2)
+        )
+        try:
+            parallel = figure13(names=["stock", "texture"])
+        finally:
+            set_default_executor(previous)
+        assert parallel.rows == serial.rows
+        assert parallel.summary == serial.summary

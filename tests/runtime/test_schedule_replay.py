@@ -1,0 +1,211 @@
+"""Schedule recording, trace caching, and the replay gating rules."""
+
+import dataclasses
+
+import pytest
+
+from repro.perf.cache import cache_disabled, get_cache
+from repro.runtime import (
+    ClusterSimulator,
+    ClusterSpec,
+    QuorumConfig,
+    record_schedule,
+    replay_disabled,
+    replay_enabled,
+    replay_iteration,
+)
+from repro.runtime.schedule import (
+    SCHEDULE_FORMAT,
+    ScheduleRecorder,
+    schedule_cache_key,
+    trace_sidecar,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    get_cache().clear()
+    yield
+    get_cache().clear()
+
+
+def make_sim(nodes=8, groups=2, update_bytes=100_000, compute=1e-3):
+    return ClusterSimulator(
+        ClusterSpec(nodes=nodes, groups=groups),
+        lambda node_id, samples: compute,
+        update_bytes=update_bytes,
+    )
+
+
+class TestRecording:
+    def test_trace_structure_matches_topology(self):
+        sim = make_sim(nodes=9, groups=3, update_bytes=12_345)
+        trace = record_schedule(sim)
+        topo = sim.topology
+        deltas = topo.nodes - len(topo.sigmas())
+        assert trace.format_version == SCHEDULE_FORMAT
+        assert trace.nodes == 9
+        assert trace.groups == 3
+        assert trace.update_bytes == 12_345
+        # gather: every delta to its sigma; reduce: every non-master
+        # sigma to the master; broadcast: master->sigmas + sigma->deltas.
+        assert len(trace.gather_sends) == deltas
+        assert len(trace.reduce_sends) == len(topo.sigmas()) - 1
+        assert len(trace.broadcast_sends) == (
+            len(topo.sigmas()) - 1
+        ) + deltas
+        assert trace.wire_messages == (
+            len(trace.gather_sends)
+            + len(trace.reduce_sends)
+            + len(trace.broadcast_sends)
+        )
+        assert all(nb == 12_345 for _, _, nb in trace.gather_sends)
+        assert trace.topology().roles == list(topo.roles)
+
+    def test_single_node_trace_is_empty(self):
+        trace = record_schedule(make_sim(nodes=1, groups=1))
+        assert trace.wire_messages == 0
+
+    def test_sidecar_is_json_serialisable(self):
+        import json
+
+        trace = record_schedule(make_sim())
+        payload = json.loads(json.dumps(trace_sidecar(trace)))
+        assert payload["nodes"] == 8
+        assert len(payload["gather_sends"]) == len(trace.gather_sends)
+
+    def test_cache_key_tracks_schedule_inputs(self):
+        a, b = make_sim(nodes=8, groups=2), make_sim(nodes=8, groups=4)
+        assert schedule_cache_key(
+            a.topology, a.update_bytes
+        ) != schedule_cache_key(b.topology, b.update_bytes)
+        assert schedule_cache_key(
+            a.topology, 100_000
+        ) != schedule_cache_key(a.topology, 200_000)
+
+    def test_recorder_rejects_send_before_phase(self):
+        recorder = ScheduleRecorder()
+        with pytest.raises(RuntimeError, match="before the first phase"):
+            recorder.on_send(0, 1, 100, 0.0, 1)
+
+    def test_recorder_rejects_extra_phases(self):
+        recorder = ScheduleRecorder()
+        for _ in range(3):
+            recorder.on_phase()
+        with pytest.raises(RuntimeError, match="more than 3"):
+            recorder.on_phase()
+
+
+class TestTraceCaching:
+    def test_trace_recorded_once_across_minibatches(self, monkeypatch):
+        import repro.runtime.schedule as schedule_mod
+
+        recordings = []
+        real = schedule_mod.record_schedule
+        monkeypatch.setattr(
+            schedule_mod,
+            "record_schedule",
+            lambda sim: recordings.append(1) or real(sim),
+        )
+        sim = make_sim()
+        sim.iteration(8_000)
+        sim.iteration(16_000)
+        sim.iteration(24_000)
+        assert len(recordings) == 1
+        keys = [k for (k, _) in get_cache()._memory if k == "cluster-schedule"]
+        assert len(keys) == 1
+
+    def test_mismatched_cached_trace_is_rejected(self):
+        sim = make_sim(update_bytes=100_000)
+        wrong = record_schedule(make_sim(update_bytes=999))
+        key = schedule_cache_key(sim.topology, sim.update_bytes)
+        get_cache().get_or_compute("cluster-schedule", key, lambda: wrong)
+        with pytest.raises(RuntimeError, match="different cluster"):
+            sim.iteration(8_000)
+
+
+class TestReplayGating:
+    def test_kill_switch_forces_event_driven(self, monkeypatch):
+        import repro.runtime.schedule as schedule_mod
+
+        monkeypatch.setattr(
+            schedule_mod,
+            "replay_iteration",
+            lambda *a, **k: pytest.fail("replay fired with the kill switch"),
+        )
+        monkeypatch.setenv("REPRO_SCHEDULE_REPLAY", "0")
+        timing = make_sim().iteration(8_000)
+        assert timing.total_s > 0
+
+    def test_quorum_forces_event_driven(self, monkeypatch):
+        import repro.runtime.schedule as schedule_mod
+
+        monkeypatch.setattr(
+            schedule_mod,
+            "replay_iteration",
+            lambda *a, **k: pytest.fail("replay fired for a quorum window"),
+        )
+        timing = make_sim().iteration(
+            8_000, quorum=QuorumConfig(fraction=0.5)
+        )
+        assert timing.total_s > 0
+
+    def test_replay_enabled_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULE_REPLAY", raising=False)
+        assert replay_enabled()
+        for off in ("0", "false", "FALSE"):
+            monkeypatch.setenv("REPRO_SCHEDULE_REPLAY", off)
+            assert not replay_enabled()
+        monkeypatch.setenv("REPRO_SCHEDULE_REPLAY", "1")
+        assert replay_enabled()
+
+    def test_replay_disabled_restores_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULE_REPLAY", "1")
+        with replay_disabled():
+            assert not replay_enabled()
+        assert replay_enabled()
+        monkeypatch.delenv("REPRO_SCHEDULE_REPLAY")
+        with replay_disabled():
+            assert not replay_enabled()
+        import os
+
+        assert "REPRO_SCHEDULE_REPLAY" not in os.environ
+
+
+class TestReplayValidation:
+    def test_format_version_mismatch_rejected(self):
+        sim = make_sim()
+        trace = record_schedule(sim)
+        stale = dataclasses.replace(trace, format_version=SCHEDULE_FORMAT + 1)
+        with pytest.raises(RuntimeError, match="re-record"):
+            replay_iteration(stale, sim.spec, [1e-3] * 8)
+
+    def test_compute_times_length_checked(self):
+        sim = make_sim(nodes=4, groups=2)
+        trace = record_schedule(sim)
+        with pytest.raises(ValueError, match="compute times"):
+            replay_iteration(trace, sim.spec, [1e-3] * 3)
+
+
+class TestEndToEnd:
+    def test_epoch_seconds_identical_with_and_without_replay(self):
+        sim = make_sim(nodes=6, groups=2)
+        with replay_disabled(), cache_disabled():
+            reference = sim.epoch_seconds(10_000, 128)
+        get_cache().clear()
+        assert sim.epoch_seconds(10_000, 128) == reference
+
+    def test_replay_used_on_the_cached_path(self, monkeypatch):
+        """Positive control for the gating tests: on the healthy cached
+        path the replayer genuinely is the engine that runs."""
+        import repro.runtime.schedule as schedule_mod
+
+        calls = []
+        real = schedule_mod.replay_iteration
+        monkeypatch.setattr(
+            schedule_mod,
+            "replay_iteration",
+            lambda *a, **k: calls.append(1) or real(*a, **k),
+        )
+        make_sim().iteration(8_000)
+        assert len(calls) == 1

@@ -16,7 +16,7 @@ from ..core.system import CosmicSystem, platform_for
 from ..hw.spec import XILINX_VU9P
 from ..ml.benchmarks import BENCHMARKS, Benchmark, benchmark
 from ..planner import CostParams, FLAT, Planner, TREE
-from ..runtime import ClusterSpec, NetworkConfig, PoolConfig
+from ..runtime import NetworkConfig, PoolConfig
 from ..runtime.faults import FaultSpec, apply_faults
 from .results import ExperimentResult, geomean
 

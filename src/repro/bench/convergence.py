@@ -14,7 +14,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..core.stack import CosmicStack
 from ..core.system import CosmicSystem, platform_for
-from ..ml.benchmarks import Benchmark, benchmark
+from ..ml.benchmarks import benchmark
 from .results import ExperimentResult
 
 

@@ -36,7 +36,10 @@ def _per_bench(names: Optional[Iterable[str]], point_fn, *args) -> List:
     out over the default sweep executor; results keep benchmark order, so
     parallel and serial runs build identical tables. Sweep items are
     benchmark *names* and ``point_fn`` a module-level sweep task, so the
-    fan-out also works under a process-pool executor."""
+    fan-out also works under a process-pool executor — and, with
+    ``REPRO_SWEEP_MODE=queue``, across ``python -m repro worker``
+    processes on any number of hosts (each worker imports this module
+    to resolve the task and caches its own artifacts)."""
     return default_executor().map(
         task_call(point_fn, *args), [b.name for b in _benches(names)]
     )

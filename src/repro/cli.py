@@ -15,7 +15,12 @@ Commands:
 * ``perf [--quick] [--update-baseline]`` — time the toolchain stages and
   a cached/parallel figure regeneration, and gate against the committed
   ``BENCH_perf.json`` baseline. ``--replay-smoke`` runs only the
-  schedule-replay identity probe (Figure 7 rows with replay off vs on).
+  schedule-replay identity probe (Figure 7 rows with replay off vs on);
+  ``--queue-smoke`` regenerates Figure 7 + Figure 16 through a queue
+  coordinator with local workers and asserts bit-identity with serial.
+* ``worker --connect HOST:PORT [--authkey-file F]`` — join a queue-mode
+  sweep as a worker process, serving tasks until the coordinator shuts
+  down (the distributed counterpart of ``REPRO_SWEEP_MODE=queue``).
 * ``cache stats|prune`` — inspect or evict the on-disk artifact cache.
 """
 
@@ -122,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="only assert Figure 7 rows identical with schedule replay "
         "off vs on (the CI replay gate)",
     )
+    perf.add_argument(
+        "--queue-smoke",
+        action="store_true",
+        help="only assert Figure 7 + Figure 16 rows identical between "
+        "serial and queue-distributed regeneration (the CI queue gate)",
+    )
+    perf.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes the queue smoke spawns (default 2)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="serve sweep tasks from a queue coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator (printed at its startup)",
+    )
+    worker.add_argument(
+        "--authkey-file",
+        default=None,
+        metavar="PATH",
+        help="file whose first line is the shared authkey (default: "
+        "REPRO_SWEEP_AUTHKEY / REPRO_SWEEP_AUTHKEY_FILE)",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after serving this many tasks (default: serve until "
+        "the coordinator shuts down)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or prune the artifact cache"
@@ -167,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if command == "perf":
         return _cmd_perf(args)
+    if command == "worker":
+        return _cmd_worker(args)
     if command == "cache":
         return _cmd_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -239,7 +282,7 @@ def _cmd_plan(name: str, chip_kind: str, minibatch: int) -> int:
           f"({plan.design.total_pes} PEs, {plan.design.total_rows} rows)")
     print(f"cycles/sample:    {plan.cycles_per_sample:,.0f}")
     print(f"throughput:       {plan.samples_per_second:,.0f} samples/s")
-    print(f"bound:            "
+    print("bound:            "
           f"{'compute' if plan.compute_bound else 'bandwidth'}")
     print(f"storage/thread:   {plan.storage_per_thread_bytes / 1024:,.0f} KB")
     if chip.luts:
@@ -380,7 +423,7 @@ def _cmd_chaos(args) -> int:
     print(f"time to recovery:   {result.time_to_recovery_s:.4f}s")
     print(f"simulated seconds:  {result.simulated_seconds:.4f} "
           f"(healthy {healthy.simulated_seconds:.4f})")
-    print(f"throughput kept:    "
+    print("throughput kept:    "
           f"{100 * result.throughput_retained(healthy.simulated_seconds):.1f}%")
     delta = (
         abs(result.final_loss - healthy.final_loss)
@@ -417,6 +460,19 @@ def _cmd_perf(args) -> int:
               "schedule replay off vs on")
         return 0
 
+    if args.queue_smoke:
+        from .bench.perf import run_queue_smoke
+
+        problems = run_queue_smoke(workers=args.workers)
+        if problems:
+            print("QUEUE SMOKE FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("queue smoke passed: Figure 7 + Figure 16 rows identical "
+              f"between serial and {args.workers}-worker queue sweeps")
+        return 0
+
     report = run_perf(names=args.benches, quick=args.quick)
     print(render_report(report))
 
@@ -444,6 +500,28 @@ def _cmd_perf(args) -> int:
         return 1
     print(f"\nwithin {args.tolerance:g}x of baseline {baseline_path}")
     return 0
+
+
+def _cmd_worker(args) -> int:
+    import os
+
+    from .perf import env as perf_env
+    from .perf.distributed import run_worker
+
+    try:
+        host, port = perf_env.parse_address(args.connect, "--connect")
+        if args.authkey_file:
+            authkey = perf_env.read_authkey_file(args.authkey_file)
+        else:
+            authkey = perf_env.sweep_authkey()
+    except perf_env.EnvError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    # A worker must never itself coordinate a queue sweep: tasks that
+    # fan out internally (the Planner's DSE) use this process's default
+    # executor, which we pin to the single-machine auto mode.
+    os.environ["REPRO_SWEEP_MODE"] = "auto"
+    return run_worker(host, port, authkey, max_tasks=args.max_tasks)
 
 
 def _cmd_cache(args) -> int:

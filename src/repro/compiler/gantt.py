@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..dfg import ir
 from .program import CompiledProgram
 
 _OP_GLYPH = {

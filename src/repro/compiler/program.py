@@ -9,7 +9,6 @@ the accelerator replicates it across threads via the Thread Index Table
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping as TMapping
 from typing import Optional
 
 from ..dfg import ir

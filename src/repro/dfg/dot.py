@@ -76,7 +76,7 @@ def to_dot(
         if value.producer is not None:
             lines.append(
                 f'  out_{_safe(out_name)} [label="{out_name}", '
-                f'shape=doubleoctagon];'
+                'shape=doubleoctagon];'
             )
             lines.append(f"  n{value.producer} -> out_{_safe(out_name)};")
     lines.append("}")

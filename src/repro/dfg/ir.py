@@ -13,7 +13,7 @@ form used by the mapping algorithm and the cycle simulator.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .ops import op_info

@@ -20,7 +20,6 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from ..dfg import ir
 from ..dfg.interpreter import Interpreter
 from ..dfg.translate import Translation
 from ..planner.plan import AcceleratorPlan

@@ -10,7 +10,7 @@ shapes; learning always really happens, just on fewer dimensions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping
 
 from ..dfg.translate import Translation
 from . import datasets

@@ -10,7 +10,7 @@ examples and tests to evaluate trained models.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping
+from typing import Dict, Mapping
 
 import numpy as np
 

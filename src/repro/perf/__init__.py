@@ -12,6 +12,12 @@ Two tools that make the stack fast *about itself*:
 * :mod:`repro.perf.tasks` — a module-scope sweep task registry so
   figure sweeps pickle cleanly into ``SweepExecutor("process")``
   workers.
+* :mod:`repro.perf.distributed` — the queue-backed executor mode:
+  a coordinator serves ``TaskCall`` sweeps to ``python -m repro
+  worker`` processes on any host, with leases, automatic re-enqueue
+  from dead/straggling workers, and per-worker health stats.
+* :mod:`repro.perf.env` — centralized, validated parsing of every
+  ``REPRO_*`` environment flag.
 
 The perf-regression harness that times the stack against a committed
 baseline lives in :mod:`repro.bench.perf` (``python -m repro perf``).
@@ -30,6 +36,18 @@ from .cache import (
     plan_from_dict,
     plan_to_dict,
 )
+from .distributed import (
+    QueueCoordinator,
+    SweepSummary,
+    SweepTaskError,
+    SweepTimeout,
+    WorkerStats,
+    default_coordinator,
+    run_worker,
+    set_default_coordinator,
+    spawn_local_workers,
+)
+from .env import EnvError
 from .parallel import (
     SweepExecutor,
     default_executor,
@@ -47,11 +65,18 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "DiskEntry",
+    "EnvError",
+    "QueueCoordinator",
     "SweepExecutor",
+    "SweepSummary",
+    "SweepTaskError",
+    "SweepTimeout",
     "TaskCall",
+    "WorkerStats",
     "cache_disabled",
     "cached_translate",
     "configure_cache",
+    "default_coordinator",
     "default_executor",
     "dfg_fingerprint",
     "fingerprint",
@@ -60,7 +85,10 @@ __all__ = [
     "plan_to_dict",
     "registered_tasks",
     "resolve",
+    "run_worker",
+    "set_default_coordinator",
     "set_default_executor",
+    "spawn_local_workers",
     "sweep_task",
     "task_call",
 ]

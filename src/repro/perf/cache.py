@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from . import env as _env
+
 #: Artifact kinds that persist to disk when a cache directory is set.
 #: Translations stay memory-only: they are cheap to recompute and carry
 #: the whole AST/symbol table, which is not a deployment artifact.
@@ -354,17 +356,9 @@ class ArtifactCache:
 # ---------------------------------------------------------------------------
 
 _GLOBAL = ArtifactCache(
-    disk_dir=(
-        Path(os.environ["REPRO_CACHE_DIR"])
-        if os.environ.get("REPRO_CACHE_DIR")
-        else None
-    ),
-    enabled=os.environ.get("REPRO_CACHE_DISABLE", "") not in ("1", "true"),
-    max_disk_bytes=(
-        int(os.environ["REPRO_CACHE_MAX_BYTES"])
-        if os.environ.get("REPRO_CACHE_MAX_BYTES")
-        else None
-    ),
+    disk_dir=_env.cache_dir(),
+    enabled=_env.cache_enabled(),
+    max_disk_bytes=_env.cache_max_bytes(),
 )
 
 

@@ -17,12 +17,16 @@ Modes:
 * ``"process"`` — ``ProcessPoolExecutor`` for callables that are
   picklable at module scope (the figure closures are not; the perf CLI
   uses threads by default).
+* ``"queue"`` — the distributed mode: tasks are served from a
+  :class:`repro.perf.distributed.QueueCoordinator` to workers started
+  with ``python -m repro worker --connect HOST:PORT`` on any host.
 * ``"auto"`` — threads when the machine has more than one CPU, else
   serial.
 
 The default mode comes from ``REPRO_SWEEP_MODE`` (and worker count from
 ``REPRO_SWEEP_JOBS``) so CI and the perf harness can steer sweeps without
-threading arguments through every figure function.
+threading arguments through every figure function. Both are parsed —
+with validation — by :mod:`repro.perf.env`, lazily on first use.
 """
 
 from __future__ import annotations
@@ -31,20 +35,31 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from . import env
+
 T = TypeVar("T")
 R = TypeVar("R")
 
-MODES = ("auto", "serial", "thread", "process")
+MODES = env.SWEEP_MODES
 
 
 class SweepExecutor:
     """Order-preserving map over independent sweep points."""
 
-    def __init__(self, mode: str = "auto", max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        mode: str = "auto",
+        max_workers: Optional[int] = None,
+        coordinator=None,
+    ):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
         self.mode = mode
         self.max_workers = max_workers
+        #: Queue mode only: the coordinator serving this executor's
+        #: sweeps; ``None`` uses the process-wide default
+        #: (:func:`repro.perf.distributed.default_coordinator`).
+        self.coordinator = coordinator
 
     def resolved_mode(self) -> str:
         """The concrete mode ``"auto"`` selects on this machine."""
@@ -62,6 +77,11 @@ class SweepExecutor:
         mode = self.resolved_mode()
         if mode == "serial" or len(points) <= 1:
             return [fn(p) for p in points]
+        if mode == "queue":
+            from .distributed import default_coordinator
+
+            coordinator = self.coordinator or default_coordinator()
+            return coordinator.map(fn, points)
         workers = self.max_workers or min(len(points), os.cpu_count() or 1)
         pool_cls = (
             ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
@@ -76,18 +96,22 @@ class SweepExecutor:
         return self.map(lambda args: fn(*args), items)
 
 
-_DEFAULT = SweepExecutor(
-    mode=os.environ.get("REPRO_SWEEP_MODE", "auto"),
-    max_workers=(
-        int(os.environ["REPRO_SWEEP_JOBS"])
-        if os.environ.get("REPRO_SWEEP_JOBS")
-        else None
-    ),
-)
+_DEFAULT: Optional[SweepExecutor] = None
 
 
 def default_executor() -> SweepExecutor:
-    """The executor the figure harness and Planner use by default."""
+    """The executor the figure harness and Planner use by default.
+
+    Built lazily on first call from ``REPRO_SWEEP_MODE`` /
+    ``REPRO_SWEEP_JOBS`` (validated — a bad value raises
+    :class:`repro.perf.env.EnvError` here rather than crashing inside a
+    sweep), then cached until :func:`set_default_executor` replaces it.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SweepExecutor(
+            mode=env.sweep_mode(), max_workers=env.sweep_jobs()
+        )
     return _DEFAULT
 
 
@@ -95,6 +119,6 @@ def set_default_executor(executor: SweepExecutor) -> SweepExecutor:
     """Replace the default executor (the perf harness pins serial/thread
     modes around its measurements); returns the previous one."""
     global _DEFAULT
-    previous = _DEFAULT
+    previous = default_executor()
     _DEFAULT = executor
     return previous

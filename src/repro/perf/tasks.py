@@ -56,7 +56,7 @@ def resolve(name: str, module: str = "") -> Callable:
     except KeyError:
         raise KeyError(
             f"unknown sweep task {name!r}; is its defining module "
-            f"importable in this process?"
+            "importable in this process?"
         ) from None
 
 
@@ -88,6 +88,6 @@ def task_call(fn: Callable, *args: Any) -> TaskCall:
     if name is None:
         raise TypeError(
             f"{fn!r} is not a registered sweep task; decorate it with "
-            f"@sweep_task(name) at module scope"
+            "@sweep_task(name) at module scope"
         )
     return TaskCall(name, fn.__module__, tuple(args))

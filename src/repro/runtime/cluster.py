@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from .director import ROLE_DELTA, Topology, assign_roles
+from .director import Topology, assign_roles
 from .events import EventLoop
 from .network import Network, NetworkConfig
 from .threads import PoolConfig, SigmaPipeline

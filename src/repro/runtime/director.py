@@ -126,7 +126,7 @@ class HeartbeatConfig:
             raise ValueError(
                 f"timeout {self.timeout_s} shorter than the period "
                 f"{self.period_s} would declare healthy nodes dead between "
-                f"beats"
+                "beats"
             )
 
     def detection_at(self, crash_s: float) -> float:

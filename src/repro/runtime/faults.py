@@ -63,12 +63,12 @@ class FaultSpec:
             if not 0.0 <= rate < 1.0:
                 raise ValueError(
                     f"drop rate for node {node} must be in [0, 1); a rate "
-                    f"of 1 would mean every retransmit also drops, i.e. an "
-                    f"unreachable node — use a FaultTimeline crash for that"
+                    "of 1 would mean every retransmit also drops, i.e. an "
+                    "unreachable node — use a FaultTimeline crash for that"
                 )
         if not self.retransmit_timeout_s > 0.0:
             raise ValueError(
-                f"retransmit timeout must be positive (a zero or negative "
+                "retransmit timeout must be positive (a zero or negative "
                 f"timeout makes drops free), got {self.retransmit_timeout_s}"
             )
 
@@ -190,7 +190,7 @@ class Partition:
         if self.start_s < 0 or self.end_s <= self.start_s:
             raise ValueError(
                 f"partition window [{self.start_s}, {self.end_s}) is empty "
-                f"or negative"
+                "or negative"
             )
 
     def active(self, t: float) -> bool:

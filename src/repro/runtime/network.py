@@ -61,7 +61,7 @@ class RetryPolicy:
         if self.backoff < 1.0:
             raise ValueError(
                 f"backoff factor must be >= 1 (got {self.backoff}); a "
-                f"shrinking backoff would hammer a struggling peer"
+                "shrinking backoff would hammer a struggling peer"
             )
 
     def attempt_timeouts(self) -> list:

@@ -70,7 +70,7 @@ class FaultToleranceConfig:
     def __post_init__(self):
         if self.checkpoint_every < 1:
             raise ValueError(
-                f"checkpoint cadence must be >= 1 iteration, got "
+                "checkpoint cadence must be >= 1 iteration, got "
                 f"{self.checkpoint_every}"
             )
 

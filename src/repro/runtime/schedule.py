@@ -43,10 +43,11 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..perf.env import schedule_replay_enabled as _schedule_replay_enabled
 from .director import NodeRole, Topology
 from .network import NetworkConfig
 from .threads import SigmaPipeline
@@ -62,11 +63,13 @@ _PHASES = 3
 
 def replay_enabled() -> bool:
     """Replay kill-switch: ``REPRO_SCHEDULE_REPLAY=0`` forces the full
-    event-driven simulation everywhere."""
-    return os.environ.get("REPRO_SCHEDULE_REPLAY", "1").lower() not in (
-        "0",
-        "false",
-    )
+    event-driven simulation everywhere (parsed, with validation, by
+    :func:`repro.perf.env.schedule_replay_enabled`).
+
+    Module-level import: this runs once per simulated iteration, and a
+    function-local import costs more than the accessor itself.
+    """
+    return _schedule_replay_enabled()
 
 
 @contextmanager
@@ -111,7 +114,7 @@ class ScheduleRecorder:
         if self._phase > _PHASES:
             raise RuntimeError(
                 f"iteration ran more than {_PHASES} network phases; the "
-                f"schedule format cannot describe it (bump SCHEDULE_FORMAT)"
+                "schedule format cannot describe it (bump SCHEDULE_FORMAT)"
             )
 
     def on_send(self, src: int, dst: int, nbytes: int, start: float,
@@ -404,7 +407,7 @@ def replay_iteration(
     if len(compute_times) != topo.nodes:
         raise ValueError(
             f"{len(compute_times)} compute times for a {topo.nodes}-node "
-            f"schedule"
+            "schedule"
         )
     cfg = spec.network
     ub = trace.update_bytes

@@ -1,6 +1,5 @@
 """Tests for the design-choice ablation studies."""
 
-import pytest
 
 from repro.bench import (
     ABLATIONS,

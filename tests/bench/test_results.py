@@ -49,18 +49,18 @@ class TestRendering:
 
     def test_columns_aligned(self, result):
         lines = [
-            l for l in result.to_table().splitlines() if l.startswith(("n", "a", "b", "g"))
+            line for line in result.to_table().splitlines() if line.startswith(("n", "a", "b", "g"))
         ]
         header = next(
-            l for l in result.to_table().splitlines() if l.startswith("name")
+            line for line in result.to_table().splitlines() if line.startswith("name")
         )
         # Every data row is as wide as its content; the value column
         # starts at the same offset everywhere.
         offset = header.index("value")
         for row in result.rows:
             line = next(
-                l for l in result.to_table().splitlines()
-                if l.startswith(str(row["name"]))
+                line for line in result.to_table().splitlines()
+                if line.startswith(str(row["name"]))
             )
             assert line[: offset].strip() == str(row["name"])
 

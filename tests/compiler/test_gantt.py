@@ -32,7 +32,7 @@ class TestRenderGantt:
 
     def test_rows_span_makespan(self, program):
         text = render_gantt(program)
-        row = next(l for l in text.splitlines() if l.startswith("pe0 |"))
+        row = next(line for line in text.splitlines() if line.startswith("pe0 |"))
         body = row.split("|")[1]
         assert len(body) == program.schedule.makespan
 
@@ -44,9 +44,9 @@ class TestRenderGantt:
     def test_busy_cells_match_schedule(self, program):
         text = render_gantt(program)
         rows = {
-            int(l.split("|")[0].strip()[2:]): l.split("|")[1]
-            for l in text.splitlines()
-            if l.startswith("pe")
+            int(line.split("|")[0].strip()[2:]): line.split("|")[1]
+            for line in text.splitlines()
+            if line.startswith("pe")
         }
         busy_cells = sum(
             sum(1 for ch in body if ch != " ") for body in rows.values()
@@ -58,7 +58,7 @@ class TestRenderGantt:
 
     def test_max_cycles_truncates(self, program):
         text = render_gantt(program, max_cycles=10)
-        row = next(l for l in text.splitlines() if l.startswith("pe0 |"))
+        row = next(line for line in text.splitlines() if line.startswith("pe0 |"))
         assert len(row.split("|")[1]) == 10
         assert "showing first 10" in text
 

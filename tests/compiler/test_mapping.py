@@ -1,6 +1,5 @@
 """Tests for Algorithm 1 (minimum-communication mapping)."""
 
-import pytest
 
 from repro.compiler import PeGrid, communication_edges, map_graph
 from repro.dfg import DATA, MODEL, scalarize, translate

@@ -3,14 +3,11 @@
 import pytest
 
 from repro.compiler import (
-    PeGrid,
     compile_thread,
-    map_graph,
-    schedule_graph,
     tree_bus_latency,
     verify_schedule,
 )
-from repro.dfg import scalarize, translate
+from repro.dfg import translate
 from repro.dsl import parse
 
 LINREG = """

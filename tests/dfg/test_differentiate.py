@@ -8,7 +8,6 @@ from repro.dfg import Interpreter, translate
 from repro.dfg.differentiate import (
     DifferentiationError,
     derive_gradients,
-    differentiate,
 )
 from repro.dsl import parse
 
@@ -187,7 +186,8 @@ class TestDerivedGraphsCompile:
         Y = X @ true_w
         derived = derive_gradients("mu = 0.05;" + LINREG_LOSS, {"n": n})
         trainer = DistributedTrainer(derived, nodes=2, threads_per_node=2)
-        mse = lambda m, f: float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
+        def mse(m, f):
+            return float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
         result = trainer.train(
             {"x": X, "y": Y}, epochs=10, minibatch_per_worker=16, loss_fn=mse
         )

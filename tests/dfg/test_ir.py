@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfg import CONST, DATA, INTERIM, MODEL, Dfg
+from repro.dfg import CONST, DATA, MODEL, Dfg
 
 
 def small_graph():

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dsl import (
-    Assignment,
     BinaryOp,
     Call,
     Number,

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.dfg import Interpreter, translate
 from repro.dsl import parse
-from repro.dsl.printer import format_expr, format_program, format_statement
+from repro.dsl.printer import format_program, format_statement
 from repro.ml import BENCHMARKS
 from repro.ml.inference import FORWARD_SOURCES
 

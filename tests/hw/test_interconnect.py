@@ -13,7 +13,6 @@ from repro.dfg import translate
 from repro.dsl import parse
 from repro.hw.interconnect import (
     InterconnectError,
-    InterconnectFabric,
     NeighborLinks,
     RowBus,
     TreeBus,

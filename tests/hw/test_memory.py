@@ -181,7 +181,7 @@ class TestMemoryInterface:
     def test_drain_collects_full_gradient(self):
         """End-to-end: stream + preload + execute + drain through the
         memory interface yields the interpreter's gradient."""
-        from repro.dfg import Interpreter, MODEL, translate as _t
+        from repro.dfg import Interpreter
         from repro.hw import ThreadSimulator
 
         n = 12

@@ -8,7 +8,6 @@ from repro.hw import (
     PIPELINE_DEPTH,
     PIPELINE_STAGES,
     Pe,
-    PeBuffers,
     XILINX_VU9P,
 )
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dfg import Interpreter
-from repro.ml import benchmark, models
+from repro.ml import benchmark
 from repro.ml.models import GRADIENTS, UPDATE_PAIRS, flops_per_sample, sgd_train
 
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.bench.perf import (
     PerfReport,

@@ -78,7 +78,8 @@ class TestArtifactCache:
     def test_miss_then_hit(self):
         cache = ArtifactCache()
         calls = []
-        build = lambda: calls.append(1) or "artifact"
+        def build():
+            return calls.append(1) or "artifact"
         assert cache.get_or_compute("plan", "k", build) == "artifact"
         assert cache.get_or_compute("plan", "k", build) == "artifact"
         assert len(calls) == 1
@@ -93,7 +94,8 @@ class TestArtifactCache:
     def test_disabled_always_computes(self):
         cache = ArtifactCache(enabled=False)
         calls = []
-        build = lambda: calls.append(1) or "x"
+        def build():
+            return calls.append(1) or "x"
         cache.get_or_compute("plan", "k", build)
         cache.get_or_compute("plan", "k", build)
         assert len(calls) == 2

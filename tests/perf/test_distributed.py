@@ -1,0 +1,297 @@
+"""Queue-backed distributed sweeps: coordinator, workers, chaos."""
+
+import multiprocessing
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.perf.distributed import (
+    QueueCoordinator,
+    SweepTaskError,
+    SweepTimeout,
+    run_worker,
+    set_default_coordinator,
+)
+from repro.perf.parallel import SweepExecutor
+from repro.perf.tasks import sweep_task, task_call
+
+@sweep_task("tests.distributed.double")
+def _double(item):
+    return item * 2
+
+
+@sweep_task("tests.distributed.flaky")
+def _flaky(item, marker_dir):
+    """Fails the first time item 2 is attempted, succeeds afterwards."""
+    marker = Path(marker_dir) / f"flaky-{item}"
+    if item == 2 and not marker.exists():
+        marker.write_text("seen")
+        raise RuntimeError("transient failure (first attempt)")
+    return item + 100
+
+
+@sweep_task("tests.distributed.always_fails")
+def _always_fails(item):
+    raise RuntimeError(f"permanent failure for {item}")
+
+
+@sweep_task("tests.distributed.block_once")
+def _block_once(item, marker_dir):
+    """Item 2 hangs on its first attempt (the chaos victim's task); any
+    retry sees the marker and returns immediately."""
+    marker = Path(marker_dir) / f"claimed-{item}"
+    if item == 2 and not marker.exists():
+        marker.write_text("claimed")
+        time.sleep(60)
+    return item * 3
+
+
+_NESTED_COORD = None
+
+
+@sweep_task("tests.distributed.nested")
+def _nested(item):
+    """Calls back into the coordinator mid-sweep (a nested DSE shape)."""
+    rows = _NESTED_COORD.map(task_call(_double), [item, item + 1])
+    return sum(rows)
+
+
+def _start_thread_worker(coordinator, max_tasks=None):
+    """Serve the coordinator from a daemon thread in this process."""
+    host, port = coordinator.address
+    box = {}
+
+    def serve():
+        box["rc"] = run_worker(
+            host,
+            port,
+            coordinator.authkey,
+            max_tasks=max_tasks,
+            log=lambda msg: None,
+        )
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def _wait_for(predicate, timeout_s=15.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+@pytest.fixture
+def coordinator():
+    c = QueueCoordinator(lease_s=30.0, poll_s=0.02, rescue_idle_s=0.2)
+    c.start()
+    yield c
+    c.shutdown()
+
+
+class TestCoordinator:
+    def test_map_preserves_input_order(self, coordinator):
+        for _ in range(2):
+            _start_thread_worker(coordinator)
+        got = coordinator.map(task_call(_double), range(8), timeout_s=30)
+        assert got == [i * 2 for i in range(8)]
+        summary = coordinator.last_summary
+        assert summary.tasks == 8
+        assert summary.attempts == 8
+        assert summary.requeued == 0
+        assert sum(w.completed for w in summary.workers) == 8
+
+    def test_empty_sweep_returns_immediately(self, coordinator):
+        assert coordinator.map(task_call(_double), []) == []
+
+    def test_worker_reported_failure_is_retried(self, coordinator, tmp_path):
+        _start_thread_worker(coordinator)
+        got = coordinator.map(
+            task_call(_flaky, str(tmp_path)), range(4), timeout_s=30
+        )
+        assert got == [100, 101, 102, 103]
+        summary = coordinator.last_summary
+        assert summary.attempts == 5  # item 2 ran twice
+        assert sum(w.failed for w in summary.workers) == 1
+
+    def test_permanent_failure_raises_with_traceback(self):
+        c = QueueCoordinator(max_task_retries=1, poll_s=0.02)
+        c.start()
+        _start_thread_worker(c)
+        try:
+            with pytest.raises(SweepTaskError, match="permanent failure"):
+                c.map(task_call(_always_fails), [7], timeout_s=30)
+        finally:
+            c.shutdown()
+
+    def test_unpicklable_callable_rejected_up_front(self, coordinator):
+        with pytest.raises(TypeError, match="picklable"):
+            coordinator.map(lambda item: item, [1, 2])
+
+    def test_timeout_without_workers(self):
+        c = QueueCoordinator(poll_s=0.02)
+        c.start()
+        try:
+            with pytest.raises(SweepTimeout, match="0/2 tasks done"):
+                c.map(task_call(_double), [1, 2], timeout_s=0.3)
+        finally:
+            c.shutdown()
+
+    def test_reentrant_map_falls_back_to_serial(self, coordinator):
+        global _NESTED_COORD
+        _NESTED_COORD = coordinator
+        _start_thread_worker(coordinator)
+        try:
+            got = coordinator.map(task_call(_nested), [1, 5], timeout_s=30)
+        finally:
+            _NESTED_COORD = None
+        assert got == [1 * 2 + 2 * 2, 5 * 2 + 6 * 2]
+
+    def test_first_result_wins_and_duplicates_counted(self, coordinator):
+        """Two workers racing the same task: one result lands, the
+        straggler's duplicate is dropped and counted."""
+        box = {}
+
+        def run_map():
+            box["rows"] = coordinator.map(
+                task_call(_double), [10, 11], timeout_s=30
+            )
+
+        mapper = threading.Thread(target=run_map, daemon=True)
+        mapper.start()
+        first = coordinator._work.get(timeout=10)
+        second = coordinator._work.get(timeout=10)
+        # Both phantom workers answer the first task; the duplicate is
+        # queued (and thus processed) before the sweep-completing result.
+        for wid, payload in (("w1", 111), ("w2", 222)):
+            coordinator._events.put(
+                ("result", wid, first.sweep, first.task, first.attempt,
+                 0.01, payload)
+            )
+        coordinator._events.put(
+            ("result", "w1", second.sweep, second.task, second.attempt,
+             0.01, 333)
+        )
+        mapper.join(timeout=10)
+        assert not mapper.is_alive()
+        assert box["rows"] == [111, 333]
+        assert coordinator.last_summary.duplicates == 1
+
+
+class TestWorker:
+    def test_authkey_mismatch_returns_3(self, coordinator):
+        host, port = coordinator.address
+        rc = run_worker(host, port, b"wrong-key", log=lambda msg: None)
+        assert rc == 3
+
+    def test_unreachable_coordinator_returns_2(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, port = probe.getsockname()
+        probe.close()
+        rc = run_worker("127.0.0.1", port, b"any", log=lambda msg: None)
+        assert rc == 2
+
+    def test_max_tasks_exits_cleanly_after_serving(self, coordinator):
+        thread, box = _start_thread_worker(coordinator, max_tasks=2)
+        got = coordinator.map(task_call(_double), [3, 4], timeout_s=30)
+        assert got == [6, 8]
+        thread.join(timeout=10)
+        assert box["rc"] == 0
+
+
+class TestExecutorIntegration:
+    def test_queue_executor_uses_injected_coordinator(self, coordinator):
+        _start_thread_worker(coordinator)
+        executor = SweepExecutor("queue", coordinator=coordinator)
+        assert executor.map(task_call(_double), [1, 2, 3]) == [2, 4, 6]
+
+    def test_default_coordinator_swap_returns_previous(self, coordinator):
+        previous = set_default_coordinator(coordinator)
+        try:
+            _start_thread_worker(coordinator)
+            got = SweepExecutor("queue").map(task_call(_double), [4, 5])
+        finally:
+            assert set_default_coordinator(previous) is coordinator
+        assert got == [8, 10]
+
+
+def _worker_process_main(host, port, authkey):
+    sys.exit(run_worker(host, port, authkey, log=lambda msg: None))
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="spawn workers would not inherit this test module's tasks",
+)
+class TestChaos:
+    def _spawn_worker(self, coordinator):
+        host, port = coordinator.address
+        proc = multiprocessing.Process(
+            target=_worker_process_main,
+            args=(host, port, coordinator.authkey),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def test_killed_worker_mid_sweep_recovers_identically(self, tmp_path):
+        """SIGKILL the worker holding a lease: the coordinator re-enqueues
+        its task, a replacement finishes the sweep, and the rows match the
+        serial reference — without the coordinator hanging."""
+        c = QueueCoordinator(
+            lease_s=0.8, poll_s=0.02, rescue_idle_s=0.3
+        )
+        c.start()
+        call = task_call(_block_once, str(tmp_path))
+        items = list(range(5))
+        box = {}
+
+        def run_map():
+            box["rows"] = c.map(call, items, timeout_s=60)
+
+        mapper = threading.Thread(target=run_map, daemon=True)
+        mapper.start()
+        victim = self._spawn_worker(c)
+        rescuer = None
+        try:
+            marker = tmp_path / "claimed-2"
+            assert _wait_for(marker.exists), "victim never claimed task 2"
+            assert _wait_for(lambda: 2 in c.current_claims())
+            victim.kill()
+            victim.join(timeout=10)
+            rescuer = self._spawn_worker(c)
+            mapper.join(timeout=60)
+            assert not mapper.is_alive(), "sweep hung after worker death"
+            assert box["rows"] == [i * 3 for i in items]
+            assert c.last_summary.requeued >= 1
+            assert c.last_summary.attempts > len(items)
+        finally:
+            c.shutdown()
+            for proc in (victim, rescuer):
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+
+    def test_authkey_mismatch_rejected_across_processes(self):
+        c = QueueCoordinator(authkey=b"right-key")
+        c.start()
+        host, port = c.address
+        try:
+            proc = multiprocessing.Process(
+                target=_worker_process_main,
+                args=(host, port, b"wrong-key"),
+                daemon=True,
+            )
+            proc.start()
+            proc.join(timeout=15)
+            assert proc.exitcode == 3
+        finally:
+            c.shutdown()

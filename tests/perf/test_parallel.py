@@ -24,7 +24,8 @@ class TestSweepExecutor:
         assert ex.map(lambda x: x * 3, items) == [x * 3 for x in items]
 
     def test_thread_matches_serial(self):
-        fn = lambda x: sum(i * x for i in range(100))
+        def fn(x):
+            return sum(i * x for i in range(100))
         items = list(range(20))
         serial = SweepExecutor("serial").map(fn, items)
         threaded = SweepExecutor("thread", max_workers=3).map(fn, items)

@@ -8,7 +8,6 @@ import pytest
 
 from repro.perf.parallel import SweepExecutor, set_default_executor
 from repro.perf.tasks import (
-    TaskCall,
     registered_tasks,
     resolve,
     sweep_task,

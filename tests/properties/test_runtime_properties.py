@@ -164,7 +164,8 @@ class TestTrainingProperties:
             threads_per_node=threads,
             seed=seed,
         )
-        mse = lambda m, f: float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
+        def mse(m, f):
+            return float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
         result = trainer.train(
             {"x": X, "y": Y}, epochs=5, minibatch_per_worker=8, loss_fn=mse
         )
@@ -210,7 +211,8 @@ class TestChaosProperties:
         w = rng.normal(size=n)
         X = rng.normal(size=(N, n))
         translation = translate(parse("mu = 0.05;" + LINREG), {"n": n})
-        compute = lambda nid, s: 2e-3
+        def compute(nid, s):
+            return 2e-3
         it_s = ClusterSimulator(spec, compute, 10_000).iteration(24).total_s
         # The master (node 0) is spared, so survivors always exist.
         timeline = FaultTimeline.random(

@@ -32,7 +32,8 @@ def problem():
     X = rng.normal(size=(N, n))
     Y = X @ w
     t = translate(parse(LINREG), {"n": n})
-    mse = lambda m, f: float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
+    def mse(m, f):
+        return float(np.mean((f["x"] @ m["w"] - f["y"]) ** 2))
     return t, {"x": X, "y": Y}, mse
 
 

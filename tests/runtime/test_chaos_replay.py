@@ -120,7 +120,8 @@ class TestChaosTrainInterplay:
         w = rng.normal(size=n)
         X = rng.normal(size=(N, n))
         spec = ClusterSpec(nodes=nodes, groups=2)
-        compute = lambda nid, s: 2e-3
+        def compute(nid, s):
+            return 2e-3
         # Fixed fault-tolerance clocks (roughly one iteration ~ 5 ms);
         # deriving them from a healthy simulation here would itself go
         # through the replayer and trip the monkeypatched probes.

@@ -5,7 +5,6 @@ import pytest
 from repro.runtime import (
     ClusterSimulator,
     ClusterSpec,
-    ROLE_DELTA,
     ROLE_MASTER_SIGMA,
     ROLE_SIGMA,
     assign_roles,

@@ -1,6 +1,5 @@
 """Observability tests: wire accounting and Sigma receive pressure."""
 
-import pytest
 
 from repro.runtime import ClusterSimulator, ClusterSpec
 

@@ -18,7 +18,13 @@ Comparing a run against a committed baseline flags any stage that got
 more than ``tolerance`` times slower (and a warm-sweep speedup that
 collapsed), so CI catches perf regressions the functional suite cannot.
 
-A third, on-demand leg (:func:`measure_queue_sweep`, CLI
+A third leg (:func:`measure_quorum_sweep`) times a graceful-degradation
+study — a quorum fraction x deadline grid on a 16-node straggler cluster
+— on both the event-driven and the format-2 quorum-replay paths, asserts
+every :class:`IterationTiming` is bit-identical between them, and
+records the replay speedup.
+
+A fourth, on-demand leg (:func:`measure_queue_sweep`, CLI
 ``--queue-smoke``) regenerates the same figures through the queue-backed
 distributed executor with local worker processes and asserts the rows
 stay bit-identical to serial — the distribution-correctness gate.
@@ -52,12 +58,15 @@ MIN_WARM_SPEEDUP = 3.0
 
 @dataclass
 class PerfReport:
-    """One harness run: stage timings + figure-sweep comparison."""
+    """One harness run: stage timings + sweep comparisons."""
 
     stages: Dict[str, Dict[str, float]]
     sweep: Dict[str, float]
     quick: bool
     machine: Dict[str, object] = field(default_factory=dict)
+    #: Quorum-sweep leg (:func:`measure_quorum_sweep`); empty when the
+    #: leg was skipped (baselines written before it existed).
+    quorum: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -66,6 +75,7 @@ class PerfReport:
             "machine": self.machine,
             "stages": self.stages,
             "figure_sweep": self.sweep,
+            "quorum_sweep": self.quorum,
         }
 
     @classmethod
@@ -75,6 +85,7 @@ class PerfReport:
             sweep=payload["figure_sweep"],
             quick=payload.get("quick", False),
             machine=payload.get("machine", {}),
+            quorum=payload.get("quorum_sweep", {}),
         )
 
 
@@ -236,6 +247,79 @@ def measure_figure_sweep(quick: bool = False) -> Dict[str, float]:
     }
 
 
+def measure_quorum_sweep(quick: bool = False) -> Dict[str, object]:
+    """The quorum-study measurement leg: a fraction x deadline grid on a
+    16-node straggler cluster, evaluated twice — full event-driven
+    simulation (replay kill switch thrown) and the format-2 quorum
+    replay path — and compared for bit-identity on every
+    :class:`IterationTiming` field.
+
+    This is the workload the replay engine was extended for: the grid
+    shares one recorded schedule, so the replay leg pays one recording
+    and re-times every (fraction, deadline) point on the booked arrival
+    arrays. Raises :class:`AssertionError` if any point diverges, or if
+    the replay leg never recorded a trace (a silently-disabled replayer
+    would vacuously pass).
+    """
+    from ..perf.cache import get_cache
+    from ..runtime import ClusterSimulator, ClusterSpec, QuorumConfig
+    from ..runtime.schedule import replay_disabled
+
+    fractions = (0.5, 1.0) if quick else (0.5, 0.75, 0.9, 1.0)
+    deadlines = (1e-3, 20e-3) if quick else (1e-3, 5e-3, 20e-3, 80e-3)
+    nodes = 16
+    # Deterministic straggler spread: node n computes (1 + n%5) ms, so
+    # every window has early closers and genuine deadline casualties.
+    compute = [1e-3 * (1 + n % 5) for n in range(nodes)]
+    sim = ClusterSimulator(
+        ClusterSpec(nodes=nodes, groups=4),
+        lambda node_id, samples: compute[node_id],
+        update_bytes=1_000_000,
+    )
+    grid = [
+        QuorumConfig(fraction=f, deadline_s=d)
+        for f in fractions
+        for d in deadlines
+    ]
+
+    def run_grid():
+        return [sim.iteration(16_000, quorum=rule) for rule in grid]
+
+    cache = get_cache()
+    cache.clear()
+    with replay_disabled():
+        start = time.perf_counter()
+        event_rows = run_grid()
+        event_s = time.perf_counter() - start
+    cache.clear()
+    start = time.perf_counter()
+    replay_rows = run_grid()
+    replay_s = time.perf_counter() - start
+
+    traced = [k for (k, _) in cache._memory if k == "cluster-schedule"]
+    if cache.enabled and not traced:
+        raise AssertionError(
+            "quorum sweep recorded no cluster-schedule trace; the "
+            "replayer never engaged"
+        )
+    for rule, event, replayed in zip(grid, event_rows, replay_rows):
+        if event != replayed:
+            raise AssertionError(
+                f"quorum replay diverges from event-driven simulation at "
+                f"fraction={rule.fraction} deadline_s={rule.deadline_s}"
+            )
+    cache.clear()
+    return {
+        "points": len(grid),
+        "fractions": list(fractions),
+        "deadlines_s": list(deadlines),
+        "event_driven_s": round(event_s, 6),
+        "replay_s": round(replay_s, 6),
+        "speedup": round(event_s / replay_s, 3),
+        "rows_identical": True,
+    }
+
+
 def run_replay_smoke(
     names: Optional[Sequence[str]] = QUICK_BENCHES,
 ) -> List[str]:
@@ -392,6 +476,7 @@ def run_perf(
     return PerfReport(
         stages=measure_stages(names, repeats=repeats),
         sweep=measure_figure_sweep(quick=quick),
+        quorum=measure_quorum_sweep(quick=quick),
         quick=quick,
         machine={
             "python": platform.python_version(),
@@ -446,6 +531,11 @@ def compare_to_baseline(
         )
     if not current.sweep.get("rows_identical", False):
         problems.append("figure-sweep rows are not identical across paths")
+    if current.quorum and not current.quorum.get("rows_identical", False):
+        problems.append(
+            "quorum-sweep rows are not identical between the replay and "
+            "event-driven paths"
+        )
     return problems
 
 
@@ -487,4 +577,24 @@ def render_report(report: PerfReport) -> str:
         "  rows identical   "
         + ("yes" if sweep.get("rows_identical") else "NO")
     )
+    quorum = report.quorum
+    if quorum:
+        lines.append("")
+        lines.append("== perf: quorum-window sweep (fraction x deadline) ==")
+        lines.append(
+            f"  grid             {quorum['points']} points "
+            f"({len(quorum['fractions'])} fractions x "
+            f"{len(quorum['deadlines_s'])} deadlines)"
+        )
+        lines.append(
+            f"  event-driven     {quorum['event_driven_s']:.3f}s"
+        )
+        lines.append(
+            f"  quorum replay    {quorum['replay_s']:.3f}s"
+            f"  ({quorum['speedup']:.2f}x)"
+        )
+        lines.append(
+            "  rows identical   "
+            + ("yes" if quorum.get("rows_identical") else "NO")
+        )
     return "\n".join(lines)

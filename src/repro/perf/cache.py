@@ -133,6 +133,9 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries rejected by a caller's ``validate`` hook (stale
+    #: artifact versions); each is deleted and recomputed as a miss.
+    invalidated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -183,6 +186,7 @@ class ArtifactCache:
         key: str,
         compute: Callable[[], Any],
         sidecar: Optional[Callable[[Any], Dict]] = None,
+        validate: Optional[Callable[[Any], bool]] = None,
     ) -> Any:
         """Return the ``kind`` artifact for ``key``, computing on miss.
 
@@ -193,6 +197,11 @@ class ArtifactCache:
             compute: thunk producing the artifact on a miss.
             sidecar: optional renderer producing a JSON-able dict written
                 next to the pickled payload (diff-able artifact record).
+            validate: optional predicate applied to disk-loaded payloads
+                (version/schema checks); a rejected entry is deleted and
+                recomputed as a miss, so stale artifact formats never
+                reach a caller. Memory entries were produced (or already
+                validated) by this process and are trusted.
         """
         if not self.enabled:
             return compute()
@@ -202,6 +211,13 @@ class ArtifactCache:
                 self.stats.hits += 1
                 return self._memory[slot]
         artifact = self._disk_load(kind, key)
+        if (
+            artifact is not None
+            and validate is not None
+            and not validate(artifact)
+        ):
+            self._disk_invalidate(kind, key)
+            artifact = None
         if artifact is not None:
             with self._lock:
                 self.stats.disk_hits += 1
@@ -252,6 +268,19 @@ class ArtifactCache:
         except OSError:
             pass
         return artifact
+
+    def _disk_invalidate(self, kind: str, key: str):
+        """Drop one stale persisted artifact (pickle + sidecar)."""
+        path = self._disk_path(kind, key)
+        if path is None:
+            return
+        for stale in (path, path.with_suffix(".json")):
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+        with self._lock:
+            self.stats.invalidated += 1
 
     def _disk_store(
         self,

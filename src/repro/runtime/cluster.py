@@ -14,8 +14,9 @@ One iteration of the distributed flow (Figure 1):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .director import Topology, assign_roles
 from .events import EventLoop
@@ -67,9 +68,19 @@ class QuorumConfig:
 
     def quorum(self, contributors: int) -> int:
         """Minimum partials that must be folded out of ``contributors``."""
-        import math
-
         return max(1, math.ceil(self.fraction * contributors))
+
+    def cache_token(self) -> Tuple[str, str, str]:
+        """Canonical form of the quorum rule for artifact-cache keys.
+
+        ``repr`` round-trips the floats exactly (the same convention
+        :func:`repro.perf.cache.fingerprint` applies to bare floats), so
+        two configs produce the same token iff they close windows
+        identically. The frozen dataclass is also hashable and directly
+        fingerprintable; this token exists for callers composing keys by
+        hand (and for the JSON sidecars, where a dataclass cannot go).
+        """
+        return ("quorum", repr(self.fraction), repr(self.deadline_s))
 
 
 @dataclass
@@ -184,15 +195,19 @@ class ClusterSimulator:
         *results* are part of the key: different compute times mean a
         fresh simulation, identical ones reuse the previous schedule.
 
-        Quorum-less healthy iterations additionally go through the
-        schedule-replay engine (:mod:`repro.runtime.schedule`): the event
-        schedule is recorded once per (topology, update size) and every
-        other sweep point re-times that trace instead of re-simulating.
-        A fault context on the simulator disables the memo, the schedule
-        cache, and replay — faults change the schedule, so a faulted run
-        must never see (or produce) a healthy-run artifact. The cached
-        and replayed results are bit-identical to the event-driven
-        simulation, enforced by the differential property suite.
+        Healthy iterations — quorum-windowed ones included — additionally
+        go through the schedule-replay engine
+        (:mod:`repro.runtime.schedule`): the event schedule is recorded
+        once per (topology, update size) and every other sweep point
+        re-times that trace instead of re-simulating. A quorum rule is
+        evaluated by the replayer directly on the booked arrival arrays
+        (the memo key carries the rule, so windowed and barrier results
+        never collide). A fault context on the simulator disables the
+        memo, the schedule cache, and replay — faults change the
+        schedule, so a faulted run must never see (or produce) a
+        healthy-run artifact. The cached and replayed results are
+        bit-identical to the event-driven simulation, enforced by the
+        differential property suites.
         """
         from dataclasses import replace
 
@@ -240,14 +255,20 @@ class ClusterSimulator:
         """Memo-miss path: replay the recorded schedule when eligible,
         otherwise run the full event-driven simulation.
 
-        Quorum windows re-shape the schedule (probe passes, withheld
-        sends), so only quorum-less iterations replay.
+        Quorum windows replay too (since schedule format 2): the trace's
+        per-sender arrival annotations let the replayer evaluate the
+        window closure on the booked arrival arrays and re-book only the
+        withheld-send pass. Only the ``REPRO_SCHEDULE_REPLAY=0`` kill
+        switch (and, upstream of this method, a fault context) forces the
+        full event-driven simulation.
         """
         from .schedule import replay_enabled, replay_iteration
 
-        if quorum is None and replay_enabled():
+        if replay_enabled():
             trace = self._schedule_trace()
-            return replay_iteration(trace, self.spec, compute_times)
+            return replay_iteration(
+                trace, self.spec, compute_times, quorum=quorum
+            )
         return self._iteration_uncached(quorum, compute_times)
 
     def _schedule_trace(self):
@@ -255,6 +276,7 @@ class ClusterSimulator:
         addressed on everything that shapes the schedule."""
         from ..perf.cache import get_cache
         from .schedule import (
+            SCHEDULE_FORMAT,
             record_schedule,
             schedule_cache_key,
             trace_sidecar,
@@ -267,6 +289,13 @@ class ClusterSimulator:
             key,
             lambda: record_schedule(self),
             sidecar=trace_sidecar,
+            # Belt-and-suspenders versioning: the format is part of the
+            # key, but a stale pickle surfacing anyway (hand-copied cache
+            # dir, key collision after an undisciplined edit) is dropped
+            # and re-recorded rather than replayed.
+            validate=lambda t: (
+                getattr(t, "format_version", None) == SCHEDULE_FORMAT
+            ),
         )
         if trace.roles != tuple(self.topology.roles) or (
             trace.update_bytes != self.update_bytes

@@ -140,10 +140,13 @@ class Network:
         dst_nic = self.nic(dst)
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        if self.recorder is not None:
-            self.recorder.on_send(
-                src, dst, nbytes, start, -(-nbytes // cfg.chunk_bytes)
-            )
+        # Per-contributor arrival metadata for the schedule recorder: the
+        # chunk arrival instants and the TX chain that produced them, in
+        # booking order. Collected only while recording — the lists cost
+        # an append per chunk on the hot event path otherwise.
+        recording = self.recorder is not None
+        chunk_arrivals = [] if recording else None
+        chunk_tx_starts = [] if recording else None
 
         cursor = start + cfg.per_message_overhead_s
         remaining = nbytes
@@ -158,8 +161,21 @@ class Network:
             arrival = rx_start + wire
             cursor = tx_start + wire  # next chunk queues behind this one
             last_arrival = max(last_arrival, arrival)
+            if recording:
+                chunk_tx_starts.append(tx_start)
+                chunk_arrivals.append(arrival)
             if on_chunk is not None:
                 self._loop.at(arrival, _bind_chunk(on_chunk, arrival, chunk))
+        if recording:
+            self.recorder.on_send(
+                src,
+                dst,
+                nbytes,
+                start,
+                len(chunk_arrivals),
+                arrivals=chunk_arrivals,
+                tx_starts=chunk_tx_starts,
+            )
         if on_done is not None:
             self._loop.at(last_arrival, _bind_done(on_done, last_arrival))
         return last_arrival

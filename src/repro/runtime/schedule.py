@@ -29,13 +29,25 @@ sweep records each (topology, model size) once — persisting to disk with
 ``REPRO_CACHE_DIR`` — and replays every other (minibatch, NetworkConfig)
 point.
 
+Since format 2, traces additionally carry **per-sender arrival
+annotations** (:class:`ArrivalPoint`): for each Sigma/master aggregation
+point, the ordered per-contributor arrival events and the TX chains that
+fed them during the recording. These let :func:`replay_iteration`
+evaluate a :class:`~repro.runtime.cluster.QuorumConfig` window closure —
+K-th arrival vs. ``deadline_s`` past the first — directly on the booked
+arrival arrays, then re-book only the downstream sends whose payload set
+changed (the withheld-send pass), instead of re-running the event loop
+from scratch. Quorum iterations therefore replay too; the probe/withhold
+structure of the event-driven simulator is reproduced exactly.
+
 Replay is *never* used when the schedule could differ from the healthy
 recording: a :class:`~repro.runtime.faults.FaultTimeline` (or any fault
-context on the simulator) and quorum aggregation both force the full
-event-driven simulation, and ``REPRO_SCHEDULE_REPLAY=0`` disables replay
-globally. The differential property suite
-(``tests/properties/test_schedule_replay.py``) asserts replay is
-bit-identical to re-simulation across hypothesis-generated clusters.
+context on the simulator) forces the full event-driven simulation, and
+``REPRO_SCHEDULE_REPLAY=0`` disables replay globally. The differential
+property suites (``tests/properties/test_schedule_replay.py`` and
+``tests/properties/test_quorum_replay.py``) assert replay is
+bit-identical to re-simulation across hypothesis-generated clusters,
+quorum rules, and straggler profiles.
 """
 
 from __future__ import annotations
@@ -54,8 +66,12 @@ from .threads import SigmaPipeline
 
 #: Bumped whenever the simulator's send structure or the replay arithmetic
 #: changes; part of the trace cache key so stale traces are never replayed
-#: against a newer simulator.
-SCHEDULE_FORMAT = 1
+#: against a newer simulator. Format 2 added the per-sender arrival
+#: annotations (:class:`ArrivalPoint`) that quorum-window replay reads;
+#: format-1 traces are invalidated cleanly — their cache keys no longer
+#: match, and a stale pickle that somehow surfaces fails the
+#: ``validate=`` check on the cache load path and is recomputed.
+SCHEDULE_FORMAT = 2
 
 #: Phase indices the recorder distinguishes (gather, reduce, broadcast).
 _PHASES = 3
@@ -106,6 +122,12 @@ class ScheduleRecorder:
         self.sends: List[List[Tuple[int, int, int]]] = [
             [] for _ in range(_PHASES)
         ]
+        #: Per-phase ``(src, dst, arrivals, tx_starts)`` records carrying
+        #: the recorded chunk arrival instants and the TX chain that fed
+        #: them — the raw material of the ArrivalPoint annotations.
+        self.arrivals: List[List[Tuple[int, int, tuple, tuple]]] = [
+            [] for _ in range(_PHASES)
+        ]
         self.chunk_bookings = 0
         self.retries = 0
 
@@ -118,19 +140,49 @@ class ScheduleRecorder:
             )
 
     def on_send(self, src: int, dst: int, nbytes: int, start: float,
-                chunks: int):
+                chunks: int, arrivals=None, tx_starts=None):
         if self._phase == 0:
             raise RuntimeError(
                 "Network.send before the first phase loop was bound; "
                 "recording only understands the phased iteration flow"
             )
         self.sends[self._phase - 1].append((src, dst, nbytes))
+        self.arrivals[self._phase - 1].append(
+            (src, dst, tuple(arrivals or ()), tuple(tx_starts or ()))
+        )
         self.chunk_bookings += chunks
 
     def on_retry(self, src: int, dst: int):
         # send_reliable retries change delivery times, not the schedule
         # structure, but a recorded retry means the run was not healthy.
         self.retries += 1
+
+
+#: ArrivalPoint phase markers (indices into the recorder's phase list).
+GATHER_PHASE = 0
+REDUCE_PHASE = 1
+
+
+@dataclass(frozen=True)
+class ArrivalPoint:
+    """Per-aggregation-point arrival annotation (format 2).
+
+    One record per Sigma (gather phase) and one for the master (reduce
+    phase): the contributors that feed it, ordered by their recorded
+    completion instant, plus the recorded chunk arrival events and the
+    TX-chain start instants that produced them. The ``senders`` tuple is
+    what quorum replay reads — it names the contributor set whose booked
+    arrival array each window closure is evaluated over; the
+    ``recorded_*`` arrays are provenance (they show up diff-ably in the
+    JSON sidecar and pin the recording the annotations came from).
+    """
+
+    node_id: int  # the receiving Sigma (or master Sigma)
+    phase: int  # GATHER_PHASE or REDUCE_PHASE
+    senders: Tuple[int, ...]
+    chunk_counts: Tuple[int, ...]
+    recorded_arrivals: Tuple[Tuple[float, ...], ...]
+    recorded_tx_starts: Tuple[Tuple[float, ...], ...]
 
 
 @dataclass(frozen=True)
@@ -141,8 +193,11 @@ class ScheduleTrace:
     ``(src, dst, nbytes)`` in the order the simulator issued them; the
     replayer re-sorts the gather/reduce phases by their re-timed start
     instants (the same ordering rule the simulator applies) and replays
-    the broadcast in recorded order (its ordering is structural). The
-    ``recorded_*`` fields are provenance for the JSON sidecar.
+    the broadcast in recorded order (its ordering is structural).
+    ``arrival_points`` annotates each Sigma/master aggregation point with
+    its ordered contributors and the recorded arrival/TX events — the
+    structure quorum-window replay evaluates. The ``recorded_*`` fields
+    are provenance for the JSON sidecar.
     """
 
     format_version: int
@@ -153,6 +208,7 @@ class ScheduleTrace:
     gather_sends: Tuple[Tuple[int, int, int], ...]
     reduce_sends: Tuple[Tuple[int, int, int], ...]
     broadcast_sends: Tuple[Tuple[int, int, int], ...]
+    arrival_points: Tuple[ArrivalPoint, ...]
     recorded_chunk_bookings: int
     recorded_chunk_bytes: int
     recorded_total_s: float
@@ -168,6 +224,10 @@ class ScheduleTrace:
     def topology(self) -> Topology:
         return Topology(roles=list(self.roles), groups=self.groups)
 
+    def points_for(self, phase: int) -> Tuple[ArrivalPoint, ...]:
+        """Aggregation points of one phase (gather or reduce)."""
+        return tuple(p for p in self.arrival_points if p.phase == phase)
+
 
 def schedule_cache_key(topology: Topology, update_bytes: int) -> str:
     """Fingerprint of everything that determines the schedule structure."""
@@ -180,6 +240,38 @@ def schedule_cache_key(topology: Topology, update_bytes: int) -> str:
         topology.groups,
         update_bytes,
     )
+
+
+def _arrival_points(recorder: ScheduleRecorder) -> Tuple[ArrivalPoint, ...]:
+    """Fold the recorder's per-send arrival logs into one annotation per
+    aggregation point, contributors ordered by recorded completion.
+
+    The completion instant of a contributor is its last chunk's arrival
+    — the same quantity the quorum window is judged against — so the
+    recorded ``senders`` order previews the window's arrival order under
+    the canonical (zero-compute) recording.
+    """
+    points = []
+    for phase in (GATHER_PHASE, REDUCE_PHASE):
+        by_dst: Dict[int, list] = {}
+        for src, dst, arrivals, tx_starts in recorder.arrivals[phase]:
+            by_dst.setdefault(dst, []).append((src, arrivals, tx_starts))
+        for dst in sorted(by_dst):
+            feeds = sorted(
+                by_dst[dst],
+                key=lambda f: (f[1][-1] if f[1] else 0.0, f[0]),
+            )
+            points.append(
+                ArrivalPoint(
+                    node_id=dst,
+                    phase=phase,
+                    senders=tuple(src for src, _, _ in feeds),
+                    chunk_counts=tuple(len(a) for _, a, _ in feeds),
+                    recorded_arrivals=tuple(a for _, a, _ in feeds),
+                    recorded_tx_starts=tuple(t for _, _, t in feeds),
+                )
+            )
+    return tuple(points)
 
 
 def record_schedule(simulator) -> ScheduleTrace:
@@ -204,6 +296,7 @@ def record_schedule(simulator) -> ScheduleTrace:
         gather_sends=tuple(recorder.sends[0]),
         reduce_sends=tuple(recorder.sends[1]),
         broadcast_sends=tuple(recorder.sends[2]),
+        arrival_points=_arrival_points(recorder),
         recorded_chunk_bookings=recorder.chunk_bookings,
         recorded_chunk_bytes=simulator.spec.network.chunk_bytes,
         recorded_total_s=timing.total_s,
@@ -229,6 +322,19 @@ def trace_sidecar(trace: ScheduleTrace) -> Dict:
         "gather_sends": [list(s) for s in trace.gather_sends],
         "reduce_sends": [list(s) for s in trace.reduce_sends],
         "broadcast_sends": [list(s) for s in trace.broadcast_sends],
+        "arrival_points": [
+            {
+                "node_id": p.node_id,
+                "phase": ["gather", "reduce"][p.phase],
+                "senders": list(p.senders),
+                "chunk_counts": list(p.chunk_counts),
+                "recorded_arrivals": [list(a) for a in p.recorded_arrivals],
+                "recorded_tx_starts": [
+                    list(t) for t in p.recorded_tx_starts
+                ],
+            }
+            for p in trace.arrival_points
+        ],
         "recorded_chunk_bookings": trace.recorded_chunk_bookings,
         "recorded_chunk_bytes": trace.recorded_chunk_bytes,
         "recorded_total_s": trace.recorded_total_s,
@@ -265,6 +371,16 @@ class _NicLedger:
         self.tx_free: Dict[int, float] = {}
         self.rx_free: Dict[int, float] = {}
         self.rx_busy: Dict[int, float] = {}
+
+    def clone(self) -> "_NicLedger":
+        """Snapshot for the quorum withheld-send pass: phase 3 books on a
+        copy so a window closure can roll back to the pre-phase state and
+        re-book only the surviving sends."""
+        copy = _NicLedger()
+        copy.tx_free = dict(self.tx_free)
+        copy.rx_free = dict(self.rx_free)
+        copy.rx_busy = dict(self.rx_busy)
+        return copy
 
 
 def _book_send_vectorized(
@@ -388,15 +504,27 @@ def replay_iteration(
     spec,
     compute_times: Sequence[float],
     vectorized: bool = True,
+    quorum=None,
 ):
     """Re-time a recorded schedule under new compute times and network
     parameters; returns an :class:`IterationTiming` bit-identical to the
     full event-driven simulation of the same inputs.
 
-    Only valid for healthy, quorum-less iterations — fault timelines and
-    quorum windows change the schedule itself and must re-simulate.
+    With a :class:`~repro.runtime.cluster.QuorumConfig`, each window
+    closure is evaluated directly on the booked arrival arrays — the
+    gather/reduce phase is booked once with every recorded send (the
+    probe), the window rule splits contributors at the later of the K-th
+    arrival and ``deadline_s`` past the first, and only when some partial
+    missed the window is the phase re-booked with those sends withheld
+    (the dropped bytes must never occupy the real NICs). This mirrors the
+    event-driven simulator's probe/withhold passes exactly, so every
+    field — ``contributors`` and ``dropped`` included — stays
+    bit-identical.
+
+    Fault timelines still change the schedule itself and must
+    re-simulate; the simulator never routes a faulted cluster here.
     """
-    from .cluster import IterationTiming
+    from .cluster import IterationTiming, _close_window
 
     if trace.format_version != SCHEDULE_FORMAT:
         raise RuntimeError(
@@ -412,7 +540,7 @@ def replay_iteration(
     cfg = spec.network
     ub = trace.update_bytes
     master = topo.master
-    ledger = _NicLedger()
+    sigmas = topo.sigmas()
 
     compute_done = {
         role.node_id: spec.management_overhead_s + seconds
@@ -420,50 +548,113 @@ def replay_iteration(
     }
     first_send = min(compute_done.values())
 
+    # Contributor sets per aggregation point, from the trace annotations.
+    feeders_of = {
+        p.node_id: p.senders for p in trace.points_for(GATHER_PHASE)
+    }
+    reduce_points = trace.points_for(REDUCE_PHASE)
+    master_senders = reduce_points[0].senders if reduce_points else ()
+
     # Phase 2: deltas stream partials to their group sigma. The sigma
     # folds its own partial first (before any chunk lands), then sends
     # are issued in (start, sender) order — the simulator's sort rule.
-    pipes = {s.node_id: SigmaPipeline(spec.pools) for s in topo.sigmas()}
-    own: Dict[int, float] = {}
-    for sigma in topo.sigmas():
-        own[sigma.group] = pipes[sigma.node_id].fold_local(
-            compute_done[sigma.node_id], ub
-        )
-    gather = sorted(
+    gather_all = sorted(
         ((compute_done[src], src, dst, nb)
          for src, dst, nb in trace.gather_sends),
         key=lambda s: s[:2],
     )
-    done2 = _feed_phase(ledger, cfg, gather, pipes, vectorized)
-    group_done: Dict[int, float] = {}
-    for sigma in topo.sigmas():
-        contributions = [own[sigma.group]] + [
-            done2[src]
-            for src, dst, _ in trace.gather_sends
-            if dst == sigma.node_id
-        ]
-        group_done[sigma.group] = max(contributions)
 
-    # Phase 3: group aggregates converge on the master sigma.
+    def run_gather(ledger, skip):
+        pipes = {s.node_id: SigmaPipeline(spec.pools) for s in sigmas}
+        own: Dict[int, float] = {}
+        for sigma in sigmas:
+            own[sigma.group] = pipes[sigma.node_id].fold_local(
+                compute_done[sigma.node_id], ub
+            )
+        sends = [s for s in gather_all if s[1] not in skip]
+        done = _feed_phase(ledger, cfg, sends, pipes, vectorized)
+        return pipes, own, done
+
+    def close_groups(own, done, skip):
+        group_done: Dict[int, float] = {}
+        members: Dict[int, List[int]] = {}
+        late = set()
+        for sigma in sigmas:
+            contributions = [(sigma.node_id, own[sigma.group])] + [
+                (src, done[src])
+                for src in feeders_of.get(sigma.node_id, ())
+                if src not in skip
+            ]
+            included, out = _close_window(contributions, quorum)
+            group_done[sigma.group] = max(t for _, t in included)
+            members[sigma.group] = [node for node, _ in included]
+            late.update(node for node, _ in out)
+        return group_done, members, late
+
+    ledger = _NicLedger()
+    pipes, own, done2 = run_gather(ledger, frozenset())
+    skip2 = frozenset()
+    if quorum is not None:
+        _, _, late2 = close_groups(own, done2, skip2)
+        skip2 = frozenset(late2)
+        if skip2:
+            # Withheld-send pass: a dropped partial's bytes must never
+            # occupy the real NICs, so the phase re-books from scratch
+            # without those sends (the probe bookings are discarded).
+            ledger = _NicLedger()
+            pipes, own, done2 = run_gather(ledger, skip2)
+    group_done, group_members, _ = close_groups(own, done2, skip2)
+
+    # Phase 3: group aggregates converge on the master sigma (same
+    # window rule, judged on the arrivals booked over the post-phase-2
+    # ledger — which is exactly the event-driven probe's NIC state).
     group_of = {r.node_id: r.group for r in topo.roles}
-    master_pipe = SigmaPipeline(spec.pools)
-    own_master = master_pipe.fold_local(group_done[master.group], ub)
-    reduce_sends = sorted(
+    reduce_all = sorted(
         ((group_done[group_of[src]], src, dst, nb)
          for src, dst, nb in trace.reduce_sends),
         key=lambda s: s[:2],
     )
-    done3 = _feed_phase(
-        ledger, cfg, reduce_sends, {master.node_id: master_pipe}, vectorized
+
+    def run_reduce(ledger, skip):
+        pipe = SigmaPipeline(spec.pools)
+        own_m = pipe.fold_local(group_done[master.group], ub)
+        sends = [s for s in reduce_all if s[1] not in skip]
+        done = _feed_phase(
+            ledger, cfg, sends, {master.node_id: pipe}, vectorized
+        )
+        return pipe, own_m, done
+
+    def close_master(own_m, done, skip):
+        contributions = [(master.node_id, own_m)] + [
+            (src, done[src]) for src in master_senders if src not in skip
+        ]
+        return _close_window(contributions, quorum)
+
+    snapshot = ledger.clone() if quorum is not None else None
+    master_pipe, own_master, done3 = run_reduce(ledger, frozenset())
+    skip3 = frozenset()
+    if quorum is not None:
+        _, out3 = close_master(own_master, done3, skip3)
+        skip3 = frozenset(node for node, _ in out3)
+        if skip3:
+            ledger = snapshot
+            master_pipe, own_master, done3 = run_reduce(ledger, skip3)
+    included_groups, _ = close_master(own_master, done3, skip3)
+    master_done = max(t for _, t in included_groups)
+    sigma_group = {s.node_id: s.group for s in sigmas}
+    contributors = sorted(
+        node
+        for sigma_id, _ in included_groups
+        for node in group_members[sigma_group[sigma_id]]
     )
-    master_done = max(
-        [own_master] + [done3[src] for src, _, _ in trace.reduce_sends]
+    dropped = sorted(
+        r.node_id for r in topo.roles if r.node_id not in contributors
     )
 
     # Phase 4: hierarchical broadcast, in the recorded (structural) order.
     book = _book_send_vectorized if vectorized else _book_send_scalar
     plans: Dict[int, tuple] = {}
-    sigma_ids = {s.node_id for s in topo.sigmas()}
+    sigma_ids = {s.node_id for s in sigmas}
     sigma_recv: Dict[int, float] = {master.node_id: master_done}
     broadcast_done = master_done
     for src, dst, nbytes in trace.broadcast_sends:
@@ -480,15 +671,17 @@ def replay_iteration(
         p.aggregation.busy_seconds() for p in pipes.values()
     ) + master_pipe.aggregation.busy_seconds()
     sigma_rx_busy = sum(
-        ledger.rx_busy.get(s.node_id, 0.0) for s in topo.sigmas()
+        ledger.rx_busy.get(s.node_id, 0.0) for s in sigmas
     )
-    wire_bytes = sum(
-        nb
-        for phase in (
-            trace.gather_sends, trace.reduce_sends, trace.broadcast_sends
-        )
-        for _, _, nb in phase
-    )
+    # Wire accounting covers what the real network carried: withheld
+    # sends were refused by the receiver and never hit the wire.
+    gather_counted = [
+        nb for src, _, nb in trace.gather_sends if src not in skip2
+    ]
+    reduce_counted = [
+        nb for src, _, nb in trace.reduce_sends if src not in skip3
+    ]
+    broadcast_counted = [nb for _, _, nb in trace.broadcast_sends]
     return IterationTiming(
         total_s=total,
         compute_s=sum(compute_times) / len(compute_times),
@@ -497,10 +690,14 @@ def replay_iteration(
         aggregation_busy_s=agg_busy,
         broadcast_s=broadcast_done - master_done,
         management_s=2 * spec.management_overhead_s,
-        wire_bytes=wire_bytes,
-        wire_messages=trace.wire_messages,
+        wire_bytes=sum(gather_counted)
+        + sum(reduce_counted)
+        + sum(broadcast_counted),
+        wire_messages=len(gather_counted)
+        + len(reduce_counted)
+        + len(broadcast_counted),
         sigma_rx_busy_s=sigma_rx_busy,
-        sigma_count=len(topo.sigmas()),
-        contributors=sorted(r.node_id for r in topo.roles),
-        dropped=[],
+        sigma_count=len(sigmas),
+        contributors=contributors,
+        dropped=dropped,
     )

@@ -1,0 +1,1 @@
+"""Docs CI gate: the guides' code blocks must execute."""

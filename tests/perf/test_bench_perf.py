@@ -8,6 +8,7 @@ from repro.bench.perf import (
     compare_to_baseline,
     load_report,
     measure_figure_sweep,
+    measure_quorum_sweep,
     measure_stages,
     render_report,
     write_report,
@@ -16,7 +17,7 @@ from repro.cli import main
 from repro.perf.cache import get_cache
 
 
-def _report(stages=None, sweep=None):
+def _report(stages=None, sweep=None, quorum=None):
     return PerfReport(
         stages=stages
         or {"stock": {"translate": 0.01, "plan": 0.02, "compile": 0.03}},
@@ -27,6 +28,16 @@ def _report(stages=None, sweep=None):
             "warm_cache_s": 0.02,
             "cold_speedup": 2.0,
             "warm_speedup": 10.0,
+            "rows_identical": True,
+        },
+        quorum=quorum
+        or {
+            "points": 4,
+            "fractions": [0.5, 1.0],
+            "deadlines_s": [0.001, 0.02],
+            "event_driven_s": 0.02,
+            "replay_s": 0.01,
+            "speedup": 2.0,
             "rows_identical": True,
         },
         quick=True,
@@ -67,6 +78,19 @@ class TestComparator:
         )
         assert any("identical" in p for p in problems)
 
+    def test_divergent_quorum_rows_flagged(self):
+        bad = dict(_report().quorum, rows_identical=False)
+        problems = compare_to_baseline(_report(quorum=bad), _report())
+        assert any("quorum" in p for p in problems)
+
+    def test_missing_quorum_leg_tolerated(self):
+        """Baselines written before the quorum leg existed (and current
+        runs without it) must not be flagged for the absence alone."""
+        old = _report()
+        old.quorum = {}
+        assert compare_to_baseline(old, _report()) == []
+        assert compare_to_baseline(_report(), old) == []
+
 
 class TestPayloadRoundTrip:
     def test_write_and_load(self, tmp_path):
@@ -75,12 +99,19 @@ class TestPayloadRoundTrip:
         loaded = load_report(path)
         assert loaded.stages == _report().stages
         assert loaded.sweep == _report().sweep
+        assert loaded.quorum == _report().quorum
         assert json.loads(path.read_text())["format_version"] == 1
+
+    def test_pre_quorum_payload_loads(self):
+        payload = _report().to_dict()
+        del payload["quorum_sweep"]
+        assert PerfReport.from_dict(payload).quorum == {}
 
     def test_render_is_textual(self):
         text = render_report(_report())
         assert "stock" in text
         assert "warm cache" in text
+        assert "quorum replay" in text
 
 
 class TestHarness:
@@ -98,6 +129,17 @@ class TestHarness:
         assert sweep["rows_identical"] is True
         assert sweep["serial_uncached_s"] > 0
         assert sweep["warm_speedup"] > 1.0
+
+    def test_quorum_sweep_rows_identical(self):
+        get_cache().clear()
+        quorum = measure_quorum_sweep(quick=True)
+        assert quorum["rows_identical"] is True
+        assert quorum["points"] == len(quorum["fractions"]) * len(
+            quorum["deadlines_s"]
+        )
+        assert quorum["event_driven_s"] > 0
+        assert quorum["replay_s"] > 0
+        assert quorum["speedup"] > 0
 
 
 class TestCli:

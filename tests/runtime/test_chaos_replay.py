@@ -88,6 +88,27 @@ class TestFaultContextGating:
         fast = healthy._iteration_uncached(None, [1e-3] * 8)
         assert slow.total_s > fast.total_s
 
+    def test_faulted_quorum_iteration_never_replays(self, monkeypatch):
+        """Quorum iterations replay since format 2 — but only on healthy
+        clusters. A fault context still trumps the quorum replay path."""
+        import repro.runtime.schedule as schedule_mod
+
+        from repro.runtime import QuorumConfig
+
+        monkeypatch.setattr(
+            schedule_mod,
+            "replay_iteration",
+            lambda *a, **k: pytest.fail(
+                "replay fired for a faulted quorum iteration"
+            ),
+        )
+        sim = make_sim(faults=FaultSpec(straggler={1: 5.0}))
+        timing = sim.iteration(
+            8_000, quorum=QuorumConfig(fraction=0.5, deadline_s=1e-3)
+        )
+        assert timing.total_s > 0
+        assert schedule_keys() == []
+
     def test_apply_faults_sets_fault_context(self):
         spec = FaultSpec(straggler={1: 2.0})
         faulted = apply_faults(make_sim(), spec)

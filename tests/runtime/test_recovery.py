@@ -212,6 +212,26 @@ class TestQuorum:
         assert QuorumConfig(fraction=0.75).quorum(4) == 3
         assert QuorumConfig(fraction=0.5).quorum(1) == 1
 
+    def test_hashable_and_fingerprintable(self):
+        """QuorumConfig composes with the artifact-cache key machinery:
+        hashable (frozen dataclass), fingerprintable, and its
+        cache_token distinguishes configs exactly when they differ."""
+        from repro.perf.cache import fingerprint
+
+        a = QuorumConfig(fraction=0.5, deadline_s=1e-3)
+        same = QuorumConfig(fraction=0.5, deadline_s=1e-3)
+        other = QuorumConfig(fraction=0.5, deadline_s=2e-3)
+        assert hash(a) == hash(same)
+        assert a == same and a != other
+        assert fingerprint("q", a) == fingerprint("q", same)
+        assert fingerprint("q", a) != fingerprint("q", other)
+        assert fingerprint("q", a) != fingerprint("q", None)
+        assert a.cache_token() == same.cache_token()
+        assert a.cache_token() != other.cache_token()
+        # tokens round-trip the floats exactly
+        assert float(a.cache_token()[1]) == a.fraction
+        assert float(a.cache_token()[2]) == a.deadline_s
+
     def test_straggler_dropped_and_iteration_shortened(self):
         healthy = iteration_seconds()
         slow = faulty_compute(

@@ -15,6 +15,8 @@ from repro.runtime import (
     replay_iteration,
 )
 from repro.runtime.schedule import (
+    GATHER_PHASE,
+    REDUCE_PHASE,
     SCHEDULE_FORMAT,
     ScheduleRecorder,
     schedule_cache_key,
@@ -65,6 +67,69 @@ class TestRecording:
     def test_single_node_trace_is_empty(self):
         trace = record_schedule(make_sim(nodes=1, groups=1))
         assert trace.wire_messages == 0
+        assert trace.arrival_points == ()
+
+    def test_arrival_points_cover_every_aggregation_point(self):
+        sim = make_sim(nodes=9, groups=3, update_bytes=200_000)
+        trace = record_schedule(sim)
+        topo = sim.topology
+        gather = trace.points_for(GATHER_PHASE)
+        reduce_ = trace.points_for(REDUCE_PHASE)
+        # One gather point per sigma with deltas, one reduce point at the
+        # master, and nothing else.
+        assert len(trace.arrival_points) == len(gather) + len(reduce_)
+        assert {p.node_id for p in gather} == {
+            s.node_id for s in topo.sigmas()
+        }
+        (master_point,) = reduce_
+        assert master_point.node_id == topo.master.node_id
+        master_id = topo.master.node_id
+        assert sorted(master_point.senders) == sorted(
+            s.node_id for s in topo.sigmas() if s.node_id != master_id
+        )
+        for point in gather:
+            sigma = next(
+                s for s in topo.sigmas() if s.node_id == point.node_id
+            )
+            expected = {
+                r.node_id
+                for r in topo.roles
+                if r.group == sigma.group and r.node_id != sigma.node_id
+            }
+            assert set(point.senders) == expected
+
+    def test_arrival_point_chunks_match_recorded_bookings(self):
+        import math
+
+        sim = make_sim(nodes=6, groups=2, update_bytes=200_000)
+        trace = record_schedule(sim)
+        chunk_bytes = sim.spec.network.chunk_bytes
+        for point in trace.arrival_points:
+            for src, count, arrivals, tx_starts in zip(
+                point.senders,
+                point.chunk_counts,
+                point.recorded_arrivals,
+                point.recorded_tx_starts,
+            ):
+                nbytes = next(
+                    nb
+                    for s, d, nb in (
+                        trace.gather_sends + trace.reduce_sends
+                    )
+                    if s == src and d == point.node_id
+                )
+                assert count == math.ceil(nbytes / chunk_bytes)
+                assert len(arrivals) == count
+                assert len(tx_starts) == count
+                assert list(arrivals) == sorted(arrivals)
+                # every chunk lands after its TX chain started
+                assert all(a > t for a, t in zip(arrivals, tx_starts))
+
+    def test_arrival_point_senders_ordered_by_completion(self):
+        trace = record_schedule(make_sim(nodes=8, groups=2))
+        for point in trace.arrival_points:
+            finals = [a[-1] for a in point.recorded_arrivals]
+            assert finals == sorted(finals)
 
     def test_sidecar_is_json_serialisable(self):
         import json
@@ -73,6 +138,11 @@ class TestRecording:
         payload = json.loads(json.dumps(trace_sidecar(trace)))
         assert payload["nodes"] == 8
         assert len(payload["gather_sends"]) == len(trace.gather_sends)
+        assert len(payload["arrival_points"]) == len(trace.arrival_points)
+        assert {p["phase"] for p in payload["arrival_points"]} <= {
+            "gather",
+            "reduce",
+        }
 
     def test_cache_key_tracks_schedule_inputs(self):
         a, b = make_sim(nodes=8, groups=2), make_sim(nodes=8, groups=4)
@@ -115,6 +185,30 @@ class TestTraceCaching:
         keys = [k for (k, _) in get_cache()._memory if k == "cluster-schedule"]
         assert len(keys) == 1
 
+    def test_stale_disk_trace_invalidated_and_rerecorded(self, tmp_path):
+        """A persisted trace whose format predates this replayer is
+        deleted on load (the ``validate=`` hook) and re-recorded — it
+        must never reach ``replay_iteration``."""
+        cache = get_cache()
+        cache.disk_dir = tmp_path
+        try:
+            sim = make_sim()
+            stale = dataclasses.replace(
+                record_schedule(sim), format_version=SCHEDULE_FORMAT - 1
+            )
+            key = schedule_cache_key(sim.topology, sim.update_bytes)
+            cache.get_or_compute("cluster-schedule", key, lambda: stale)
+            cache.clear()  # drop the memory tier; the stale pickle stays
+            timing = sim.iteration(8_000)
+            assert timing.total_s > 0
+            assert cache.stats.invalidated == 1
+            fresh = cache.get_or_compute(
+                "cluster-schedule", key, lambda: pytest.fail("not re-stored")
+            )
+            assert fresh.format_version == SCHEDULE_FORMAT
+        finally:
+            cache.disk_dir = None
+
     def test_mismatched_cached_trace_is_rejected(self):
         sim = make_sim(update_bytes=100_000)
         wrong = record_schedule(make_sim(update_bytes=999))
@@ -137,14 +231,32 @@ class TestReplayGating:
         timing = make_sim().iteration(8_000)
         assert timing.total_s > 0
 
-    def test_quorum_forces_event_driven(self, monkeypatch):
+    def test_quorum_iterations_replay(self, monkeypatch):
+        """Since format 2 the quorum gate is lifted: a quorum iteration
+        goes through the replayer (and receives the quorum rule)."""
+        import repro.runtime.schedule as schedule_mod
+
+        calls = []
+        real = schedule_mod.replay_iteration
+        monkeypatch.setattr(
+            schedule_mod,
+            "replay_iteration",
+            lambda *a, **k: calls.append(k.get("quorum")) or real(*a, **k),
+        )
+        rule = QuorumConfig(fraction=0.5)
+        timing = make_sim().iteration(8_000, quorum=rule)
+        assert timing.total_s > 0
+        assert calls == [rule]
+
+    def test_kill_switch_covers_quorum_iterations(self, monkeypatch):
         import repro.runtime.schedule as schedule_mod
 
         monkeypatch.setattr(
             schedule_mod,
             "replay_iteration",
-            lambda *a, **k: pytest.fail("replay fired for a quorum window"),
+            lambda *a, **k: pytest.fail("replay fired with the kill switch"),
         )
+        monkeypatch.setenv("REPRO_SCHEDULE_REPLAY", "0")
         timing = make_sim().iteration(
             8_000, quorum=QuorumConfig(fraction=0.5)
         )
